@@ -1,0 +1,67 @@
+// Command experiments regenerates every measured artifact of the paper's
+// evaluation section: Table III (hardware-task-management overheads vs.
+// number of guest OSes), Figure 9 (degradation ratios), and the §V-B
+// footprint scalars.
+//
+// Usage:
+//
+//	go run ./cmd/experiments            # everything
+//	go run ./cmd/experiments -table3    # just the table
+//	go run ./cmd/experiments -fig9     # just the figure (implies -table3)
+//	go run ./cmd/experiments -footprint # just the scalars
+//	go run ./cmd/experiments -iters 40 -guests 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		table3    = flag.Bool("table3", false, "reproduce Table III")
+		fig9      = flag.Bool("fig9", false, "reproduce Figure 9 (runs Table III)")
+		footprint = flag.Bool("footprint", false, "report the Section V-B scalars")
+		guests    = flag.Int("guests", 4, "maximum number of guest VMs")
+		iters     = flag.Int("iters", 24, "measured hardware-task requests per guest")
+		warmup    = flag.Int("warmup", 4, "warm-up requests per guest before measuring")
+		quantum   = flag.Float64("quantum", 33, "guest time slice in ms (paper: 33)")
+		gap       = flag.Int("gap", 31, "T_hw request gap in guest ticks")
+		seed      = flag.Uint("seed", 1, "task-selection seed")
+	)
+	flag.Parse()
+	all := !*table3 && !*fig9 && !*footprint
+
+	cfg := experiments.DefaultConfig()
+	cfg.Guests = *guests
+	cfg.Iterations = *iters
+	cfg.Warmup = *warmup
+	cfg.QuantumMs = *quantum
+	cfg.RequestGapTicks = uint32(*gap)
+	cfg.Seed = uint32(*seed)
+
+	if all || *footprint {
+		root, _ := os.Getwd()
+		fmt.Println(experiments.CollectFootprint(root))
+	}
+	if all || *table3 || *fig9 {
+		fmt.Printf("running Table III sweep (native + 1..%d guests, %d requests each)...\n",
+			cfg.Guests, cfg.Iterations*cfg.Guests)
+		tab := experiments.RunTable3(cfg)
+		fmt.Println(tab)
+		checks := tab.Check()
+		fmt.Printf("shape checks: %+v\n  all hold: %v\n\n", checks, checks.AllHold())
+		if all || *fig9 {
+			f := experiments.Figure9(tab)
+			fmt.Println(f)
+			fmt.Printf("plotted efficiency (t_native/t_virt): ")
+			for _, e := range f.Efficiency() {
+				fmt.Printf("%.3f ", e)
+			}
+			fmt.Printf("\nslope decreasing (saturating overhead): %v\n", f.SlopeDecreasing())
+		}
+	}
+}

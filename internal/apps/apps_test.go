@@ -1,0 +1,310 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestADPCMRoundTripTracksSignal(t *testing.T) {
+	pcm := SyntheticSpeech(4000, 7)
+	var enc, dec ADPCMState
+	codes := EncodeADPCM(&enc, pcm)
+	if len(codes) != len(pcm)/2 {
+		t.Fatalf("compressed size = %d, want %d (4:1)", len(codes), len(pcm)/2)
+	}
+	out := DecodeADPCM(&dec, codes, len(pcm))
+	// ADPCM is lossy; after convergence the decoded signal must track the
+	// original within a small fraction of full scale.
+	var errSum, sigSum float64
+	for i := 256; i < len(pcm); i++ {
+		d := float64(pcm[i]) - float64(out[i])
+		errSum += d * d
+		sigSum += float64(pcm[i]) * float64(pcm[i])
+	}
+	if sigSum == 0 {
+		t.Fatal("silent test signal")
+	}
+	snr := 10 * math.Log10(sigSum/errSum)
+	if snr < 15 {
+		t.Errorf("ADPCM SNR = %.1f dB, want > 15 dB", snr)
+	}
+}
+
+func TestADPCMDeterministic(t *testing.T) {
+	pcm := SyntheticSpeech(1000, 3)
+	var s1, s2 ADPCMState
+	a := EncodeADPCM(&s1, pcm)
+	b := EncodeADPCM(&s2, pcm)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ADPCM encode not deterministic")
+		}
+	}
+}
+
+func TestGSMFrameShape(t *testing.T) {
+	var st GSMState
+	pcm := SyntheticSpeech(GSMFrameSamples*3, 11)
+	f1 := EncodeGSMFrame(&st, pcm[:160])
+	f2 := EncodeGSMFrame(&st, pcm[160:320])
+	if len(f1) != GSMEncodedBytes || len(f2) != GSMEncodedBytes {
+		t.Fatalf("frame sizes %d/%d, want %d", len(f1), len(f2), GSMEncodedBytes)
+	}
+	same := true
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("distinct speech frames encoded identically")
+	}
+}
+
+func TestGSMSilenceIsStable(t *testing.T) {
+	var st GSMState
+	silent := make([]int16, GSMFrameSamples)
+	f := EncodeGSMFrame(&st, silent)
+	if len(f) != GSMEncodedBytes {
+		t.Fatal("bad frame size")
+	}
+}
+
+func TestGSMPanicsOnBadFrame(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short frame did not panic")
+		}
+	}()
+	var st GSMState
+	EncodeGSMFrame(&st, make([]int16, 100))
+}
+
+func TestFFTKnownTransform(t *testing.T) {
+	// FFT of a pure tone concentrates energy in one bin.
+	n := 256
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*8*float64(i)/float64(n)), 0)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mag := cmplxAbs(x[i])
+		if i == 8 || i == n-8 {
+			if mag < float64(n)/2*0.99 {
+				t.Errorf("bin %d magnitude %.1f, want ~%d", i, mag, n/2)
+			}
+		} else if mag > 1e-6*float64(n) {
+			t.Errorf("leakage in bin %d: %.3g", i, mag)
+		}
+	}
+}
+
+func cmplxAbs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{256, 1024, 8192} {
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+			timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		if err := FFT(x); err != nil {
+			t.Fatal(err)
+		}
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(n)
+		if math.Abs(timeEnergy-freqEnergy)/timeEnergy > 1e-9 {
+			t.Errorf("n=%d: Parseval violated: %.9f vs %.9f", n, timeEnergy, freqEnergy)
+		}
+	}
+}
+
+func TestFFTIFFTIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 512)
+	orig := make([]complex128, 512)
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+		orig[i] = x[i]
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplxAbs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("IFFT(FFT(x))[%d] = %v, want %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 100)); err == nil {
+		t.Error("length 100 accepted")
+	}
+	if err := FFT(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestQAMRoundTripAllOrders(t *testing.T) {
+	for _, m := range []int{4, 16, 64} {
+		bits := make([]byte, 48) // divisible by all symbol widths
+		for i := range bits {
+			bits[i] = byte(i*37 + m)
+		}
+		syms, consumed, err := QAMMap(bits, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if consumed != len(bits)*8 {
+			t.Errorf("QAM-%d consumed %d bits of %d", m, consumed, len(bits)*8)
+		}
+		back, err := QAMDemap(syms, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				t.Fatalf("QAM-%d round trip: byte %d = %#x, want %#x", m, i, back[i], bits[i])
+			}
+		}
+	}
+}
+
+func TestQAMRejectsBadOrder(t *testing.T) {
+	if _, _, err := QAMMap([]byte{1}, 32); err == nil {
+		t.Error("QAM-32 accepted")
+	}
+}
+
+// Property: QAM demap(map(x)) == x for random payloads and any order.
+func TestPropertyQAMRoundTrip(t *testing.T) {
+	f := func(payload []byte, sel uint8) bool {
+		m := []int{4, 16, 64}[int(sel)%3]
+		if len(payload) > 96 {
+			payload = payload[:96]
+		}
+		// pad to a multiple of 3 bytes (24 bits) so all orders divide evenly
+		for len(payload)%3 != 0 {
+			payload = append(payload, 0)
+		}
+		syms, _, err := QAMMap(payload, m)
+		if err != nil {
+			return false
+		}
+		back, err := QAMDemap(syms, m)
+		if err != nil {
+			return false
+		}
+		for i := range payload {
+			if back[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ADPCM round trip never diverges (decoded stays in int16 and
+// the predictor state remains in range).
+func TestPropertyADPCMStateInRange(t *testing.T) {
+	f := func(samples []int16) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var enc, dec ADPCMState
+		codes := EncodeADPCM(&enc, samples)
+		DecodeADPCM(&dec, codes, len(samples))
+		return enc.Index >= 0 && enc.Index <= 88 &&
+			enc.Predicted >= -32768 && enc.Predicted <= 32767 &&
+			dec.Index == enc.Index && dec.Predicted == enc.Predicted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTButterflies(t *testing.T) {
+	if got := FFTButterflies(8); got != 12 {
+		t.Errorf("FFTButterflies(8) = %d, want 12", got)
+	}
+	if got := FFTButterflies(1024); got != 5120 {
+		t.Errorf("FFTButterflies(1024) = %d, want 5120", got)
+	}
+}
+
+func TestFFTCoreProcess(t *testing.T) {
+	core := FFTCore{}
+	// 256-point impulse: flat spectrum.
+	in := make([]byte, 256*4)
+	in[0] = 64 // real[0] = 64
+	out, err := core.Process(in, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 256*4 {
+		t.Fatalf("output %d bytes, want %d", len(out), 256*4)
+	}
+	if core.Latency(len(in), 256) == 0 {
+		t.Error("zero latency")
+	}
+}
+
+func TestFFTCoreRejectsShortInput(t *testing.T) {
+	if _, err := (FFTCore{}).Process(make([]byte, 100), 256); err == nil {
+		t.Error("short input accepted")
+	}
+}
+
+func TestQAMCoreProcess(t *testing.T) {
+	core := QAMCore{}
+	in := []byte{0xFF, 0x00, 0xAA}
+	out, err := core.Process(in, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 bytes = 24 bits; QAM-16 is 4 bits/symbol = 6 symbols × 4 bytes I/Q.
+	if len(out) != 24 {
+		t.Fatalf("output %d bytes, want 24", len(out))
+	}
+}
+
+func TestSyntheticSpeechDeterministic(t *testing.T) {
+	a := SyntheticSpeech(100, 5)
+	b := SyntheticSpeech(100, 5)
+	c := SyntheticSpeech(100, 6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical signals")
+	}
+}

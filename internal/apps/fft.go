@@ -1,0 +1,69 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes an in-place radix-2 decimation-in-time FFT. len(x) must be
+// a power of two. This is both the software fallback workload and the
+// reference model for the FFT IP cores (FFT-256 … FFT-8192, paper §V-B).
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("apps: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		ang := -2 * math.Pi / float64(size)
+		wn := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < size/2; k++ {
+				a := x[start+k]
+				b := x[start+k+size/2] * w
+				x[start+k] = a + b
+				x[start+k+size/2] = a - b
+				w *= wn
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse transform (normalized by 1/N).
+func IFFT(x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	scale := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * scale
+	}
+	return nil
+}
+
+// FFTButterflies returns the butterfly count N/2·log2(N) — the work the
+// IP-core latency model charges.
+func FFTButterflies(n int) int {
+	logn := 0
+	for v := n; v > 1; v >>= 1 {
+		logn++
+	}
+	return n / 2 * logn
+}

@@ -1,0 +1,129 @@
+package apps
+
+import "fmt"
+
+// QAM mapping with Gray coding for constellation sizes 4, 16 and 64 — the
+// paper's second IP-core family (QAM-4/16/64, §V-B). Symbols are (I, Q)
+// pairs of int16 at unit spacing scaled by 4096.
+
+// QAMSymbol is one constellation point.
+type QAMSymbol struct {
+	I, Q int16
+}
+
+const qamScale = 4096
+
+// gray converts binary to Gray code.
+func gray(v int) int { return v ^ v>>1 }
+
+// grayInv inverts gray().
+func grayInv(g int) int {
+	v := 0
+	for ; g != 0; g >>= 1 {
+		v ^= g
+	}
+	return v
+}
+
+// qamSide returns the per-axis level count for order m (4 -> 2, 16 -> 4,
+// 64 -> 8).
+func qamSide(m int) (int, error) {
+	switch m {
+	case 4:
+		return 2, nil
+	case 16:
+		return 4, nil
+	case 64:
+		return 8, nil
+	}
+	return 0, fmt.Errorf("apps: unsupported QAM order %d", m)
+}
+
+// axisLevel maps a Gray-coded index to a centered amplitude.
+func axisLevel(idx, side int) int16 {
+	return int16((2*idx - (side - 1)) * qamScale / (side - 1))
+}
+
+// QAMMap maps a bit stream (packed LSB-first) to symbols of order m.
+// Returns the symbols and the number of bits consumed.
+func QAMMap(bits []byte, m int) ([]QAMSymbol, int, error) {
+	side, err := qamSide(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	bitsPerAxis := 0
+	for v := side; v > 1; v >>= 1 {
+		bitsPerAxis++
+	}
+	bitsPerSym := 2 * bitsPerAxis
+	total := len(bits) * 8 / bitsPerSym
+	out := make([]QAMSymbol, total)
+	bitAt := func(i int) int { return int(bits[i/8]>>(i%8)) & 1 }
+	pos := 0
+	for s := range out {
+		iBits, qBits := 0, 0
+		for b := 0; b < bitsPerAxis; b++ {
+			iBits |= bitAt(pos) << b
+			pos++
+		}
+		for b := 0; b < bitsPerAxis; b++ {
+			qBits |= bitAt(pos) << b
+			pos++
+		}
+		out[s] = QAMSymbol{
+			I: axisLevel(gray(iBits), side),
+			Q: axisLevel(gray(qBits), side),
+		}
+	}
+	return out, pos, nil
+}
+
+// QAMDemap hard-decides symbols back to packed bits (inverse of QAMMap).
+func QAMDemap(symbols []QAMSymbol, m int) ([]byte, error) {
+	side, err := qamSide(m)
+	if err != nil {
+		return nil, err
+	}
+	bitsPerAxis := 0
+	for v := side; v > 1; v >>= 1 {
+		bitsPerAxis++
+	}
+	out := make([]byte, (len(symbols)*2*bitsPerAxis+7)/8)
+	pos := 0
+	setBit := func(i, v int) {
+		if v != 0 {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	decide := func(a int16) int {
+		// Nearest level index: invert axisLevel with round-to-nearest.
+		num := int(a) * (side - 1)
+		var r int
+		if num >= 0 {
+			r = (num + qamScale/2) / qamScale
+		} else {
+			r = -((-num + qamScale/2) / qamScale)
+		}
+		idx := (r + side - 1) / 2
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= side {
+			idx = side - 1
+		}
+		return grayInv(idx)
+	}
+	for _, s := range symbols {
+		iBits := decide(s.I)
+		qBits := decide(s.Q)
+		for b := 0; b < bitsPerAxis; b++ {
+			setBit(pos, iBits>>b&1)
+			pos++
+		}
+		for b := 0; b < bitsPerAxis; b++ {
+			setBit(pos, qBits>>b&1)
+			pos++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+// Package bitstream defines the synthetic partial-bitstream (.bit) format
+// used by the PCAP model and the Hardware Task Manager.
+//
+// The paper stores hardware-task configuration data "in memory as
+// bitstream files (.bit)" (§IV-B) whose size determines the PCAP
+// reconfiguration delay (§V-B, referencing the authors' earlier EWiLi'14
+// paper for the size↔delay relation). Real Xilinx bitstreams are opaque
+// and device-specific; this synthetic container preserves exactly the
+// properties the system depends on: an identifying header, the FPGA
+// resource footprint (which decides PRR compatibility), and a payload
+// whose length drives reconfiguration latency.
+package bitstream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic identifies a synthetic partial bitstream.
+const Magic = 0xB175_CAFE
+
+// HeaderSize is the encoded header length in bytes.
+const HeaderSize = 28
+
+// Resources is the FPGA footprint a task needs — the quantity that decides
+// which PRRs can host it (paper §V-B: "only PRR1 and PRR2 are large enough
+// to contain the FFT tasks").
+type Resources struct {
+	LUTs uint32
+	BRAM uint32 // 36Kb block count
+	DSP  uint32
+}
+
+// Fits reports whether a region with capacity c can host r.
+func (r Resources) Fits(c Resources) bool {
+	return r.LUTs <= c.LUTs && r.BRAM <= c.BRAM && r.DSP <= c.DSP
+}
+
+// Bitstream is a decoded synthetic .bit file.
+type Bitstream struct {
+	TaskID  uint16
+	Variant uint16 // e.g. FFT point size index or QAM order index
+	Needs   Resources
+	Payload []byte // configuration frames; len drives PCAP latency
+}
+
+// Encode serializes the bitstream: header (magic, ids, resources, length,
+// CRC of payload) followed by the payload.
+func (b *Bitstream) Encode() []byte {
+	out := make([]byte, HeaderSize+len(b.Payload))
+	binary.LittleEndian.PutUint32(out[0:], Magic)
+	binary.LittleEndian.PutUint16(out[4:], b.TaskID)
+	binary.LittleEndian.PutUint16(out[6:], b.Variant)
+	binary.LittleEndian.PutUint32(out[8:], b.Needs.LUTs)
+	binary.LittleEndian.PutUint32(out[12:], b.Needs.BRAM)
+	binary.LittleEndian.PutUint32(out[16:], b.Needs.DSP)
+	binary.LittleEndian.PutUint32(out[20:], uint32(len(b.Payload)))
+	binary.LittleEndian.PutUint32(out[24:], crc32.ChecksumIEEE(b.Payload))
+	copy(out[HeaderSize:], b.Payload)
+	return out
+}
+
+// Decode parses and validates an encoded bitstream.
+func Decode(raw []byte) (*Bitstream, error) {
+	if len(raw) < HeaderSize {
+		return nil, fmt.Errorf("bitstream: %d bytes is shorter than the %d-byte header", len(raw), HeaderSize)
+	}
+	if m := binary.LittleEndian.Uint32(raw[0:]); m != Magic {
+		return nil, fmt.Errorf("bitstream: bad magic %#x", m)
+	}
+	n := binary.LittleEndian.Uint32(raw[20:])
+	if uint32(len(raw)-HeaderSize) < n {
+		return nil, fmt.Errorf("bitstream: truncated payload (%d of %d bytes)", len(raw)-HeaderSize, n)
+	}
+	payload := raw[HeaderSize : HeaderSize+n]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(raw[24:]); got != want {
+		return nil, fmt.Errorf("bitstream: payload CRC mismatch (%#x != %#x)", got, want)
+	}
+	return &Bitstream{
+		TaskID:  binary.LittleEndian.Uint16(raw[4:]),
+		Variant: binary.LittleEndian.Uint16(raw[6:]),
+		Needs: Resources{
+			LUTs: binary.LittleEndian.Uint32(raw[8:]),
+			BRAM: binary.LittleEndian.Uint32(raw[12:]),
+			DSP:  binary.LittleEndian.Uint32(raw[16:]),
+		},
+		Payload: payload,
+	}, nil
+}
+
+// TotalLen is the encoded length in bytes.
+func (b *Bitstream) TotalLen() int { return HeaderSize + len(b.Payload) }
+
+// Synthesize builds a deterministic payload of n bytes for task/variant —
+// a stand-in for configuration frames. The content is reproducible so
+// tests can verify PCAP transfers bit-for-bit.
+func Synthesize(taskID, variant uint16, needs Resources, n int) *Bitstream {
+	p := make([]byte, n)
+	seed := uint32(taskID)<<16 | uint32(variant)
+	x := seed*2654435761 + 1
+	for i := range p {
+		x = x*1664525 + 1013904223
+		p[i] = byte(x >> 24)
+	}
+	return &Bitstream{TaskID: taskID, Variant: variant, Needs: needs, Payload: p}
+}

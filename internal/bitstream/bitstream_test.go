@@ -1,0 +1,92 @@
+package bitstream
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b := Synthesize(3, 1, Resources{LUTs: 4000, BRAM: 8, DSP: 12}, 10_000)
+	raw := b.Encode()
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.TaskID != 3 || got.Variant != 1 {
+		t.Errorf("ids = %d/%d, want 3/1", got.TaskID, got.Variant)
+	}
+	if got.Needs != b.Needs {
+		t.Errorf("resources = %+v, want %+v", got.Needs, b.Needs)
+	}
+	if !bytes.Equal(got.Payload, b.Payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	raw := Synthesize(1, 0, Resources{}, 64).Encode()
+	raw[0] ^= 0xFF
+	if _, err := Decode(raw); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestDecodeRejectsCorruptPayload(t *testing.T) {
+	raw := Synthesize(1, 0, Resources{}, 64).Encode()
+	raw[HeaderSize+10] ^= 0x01
+	if _, err := Decode(raw); err == nil {
+		t.Error("corrupt payload passed CRC")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	raw := Synthesize(1, 0, Resources{}, 64).Encode()
+	if _, err := Decode(raw[:HeaderSize+10]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := Decode(raw[:10]); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestFits(t *testing.T) {
+	prr := Resources{LUTs: 5000, BRAM: 10, DSP: 20}
+	if !(Resources{LUTs: 5000, BRAM: 10, DSP: 20}).Fits(prr) {
+		t.Error("exact fit rejected")
+	}
+	if (Resources{LUTs: 5001}).Fits(prr) {
+		t.Error("oversized LUTs accepted")
+	}
+	if (Resources{BRAM: 11}).Fits(prr) {
+		t.Error("oversized BRAM accepted")
+	}
+	if (Resources{DSP: 21}).Fits(prr) {
+		t.Error("oversized DSP accepted")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(7, 2, Resources{}, 1000)
+	b := Synthesize(7, 2, Resources{}, 1000)
+	if !bytes.Equal(a.Payload, b.Payload) {
+		t.Error("same ids produced different payloads")
+	}
+	c := Synthesize(7, 3, Resources{}, 1000)
+	if bytes.Equal(a.Payload, c.Payload) {
+		t.Error("different variants produced identical payloads")
+	}
+}
+
+// Property: Decode(Encode(x)) == x for arbitrary ids/sizes.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(id, variant uint16, luts, bram, dsp uint32, size uint16) bool {
+		b := Synthesize(id, variant, Resources{luts, bram, dsp}, int(size))
+		got, err := Decode(b.Encode())
+		return err == nil && got.TaskID == id && got.Variant == variant &&
+			got.Needs == b.Needs && bytes.Equal(got.Payload, b.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+// Package cache models the Cortex-A9 cache hierarchy of the paper's
+// evaluation platform: 32 KB 4-way split L1 instruction and data caches and
+// a 512 KB 8-way unified L2, all physically indexed and physically tagged
+// (PIPT). Physical tagging is what lets Mini-NOVA switch VM address spaces
+// without flushing caches (paper §III-C); this model preserves that
+// property, which is essential for the Table III trend to emerge for the
+// right reason.
+//
+// The model tracks tag state only — data lives in physmem — because the
+// experiments need timing (hit/miss cycles) and pollution behaviour, not a
+// second copy of memory.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/physmem"
+)
+
+// LineSize is the cache line size in bytes (A9: 32-byte lines).
+const LineSize = 32
+
+// lineShift is log2(LineSize).
+const lineShift = 5
+
+// Stats counts cache events since the last reset.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+	Flushes    uint64
+}
+
+// Accesses is the total number of lookups.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+type line struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch stamp; larger is more recent
+}
+
+// Policy selects the replacement policy.
+type Policy int
+
+// Replacement policies. The Cortex-A9's L1 caches replace pseudo-randomly
+// (TRM r4p1 §7.1) and the PL310 L2 defaults to a similar non-LRU scheme;
+// pseudo-random replacement also produces the gradual miss-probability
+// growth with occupancy that strict LRU hides behind a capacity cliff.
+const (
+	PolicyRandom Policy = iota
+	PolicyLRU
+)
+
+// Cache is one set-associative, write-back, write-allocate cache level.
+type Cache struct {
+	name   string
+	sets   []([]line)
+	ways   int
+	stamp  uint64
+	rng    uint32
+	policy Policy
+	stats  Stats
+}
+
+// New builds a cache of sizeBytes with the given associativity and
+// pseudo-random replacement (the A9 default). sizeBytes must be a
+// multiple of ways*LineSize and the set count a power of two (true of
+// every A9 configuration).
+func New(name string, sizeBytes, ways int) *Cache {
+	nlines := sizeBytes / LineSize
+	nsets := nlines / ways
+	if nsets*ways*LineSize != sizeBytes {
+		panic(fmt.Sprintf("cache %s: size %d not divisible by %d ways * %d line", name, sizeBytes, ways, LineSize))
+	}
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, nsets))
+	}
+	c := &Cache{name: name, ways: ways, sets: make([][]line, nsets), rng: 0x2545F491}
+	for i := range c.sets {
+		c.sets[i] = make([]line, ways)
+	}
+	return c
+}
+
+// NewLRU builds a cache with strict LRU replacement (for ablations).
+func NewLRU(name string, sizeBytes, ways int) *Cache {
+	c := New(name, sizeBytes, ways)
+	c.policy = PolicyLRU
+	return c
+}
+
+// Name returns the cache's identifying name (e.g. "L1D").
+func (c *Cache) Name() string { return c.name }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) index(pa physmem.Addr) (set int, tag uint32) {
+	lineAddr := uint32(pa) >> lineShift
+	set = int(lineAddr) & (len(c.sets) - 1)
+	tag = lineAddr / uint32(len(c.sets))
+	return
+}
+
+// Access looks up pa; on a miss it allocates the line, evicting LRU.
+// It returns hit, and whether the eviction wrote back a dirty line (the
+// caller charges writeback cost to the next level).
+func (c *Cache) Access(pa physmem.Addr, write bool) (hit, writeback bool) {
+	set, tag := c.index(pa)
+	c.stamp++
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.stamp
+			if write {
+				lines[i].dirty = true
+			}
+			c.stats.Hits++
+			return true, false
+		}
+	}
+	c.stats.Misses++
+	// Choose a victim: invalid ways first, then by policy.
+	victim := -1
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		if c.policy == PolicyLRU {
+			victim = 0
+			for i := range lines {
+				if lines[i].lru < lines[victim].lru {
+					victim = i
+				}
+			}
+		} else {
+			c.rng ^= c.rng << 13
+			c.rng ^= c.rng >> 17
+			c.rng ^= c.rng << 5
+			victim = int(c.rng) & (c.ways - 1)
+		}
+		c.stats.Evictions++
+		if lines[victim].dirty {
+			c.stats.Writebacks++
+			writeback = true
+		}
+		lines[victim] = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
+		return false, writeback
+	}
+	lines[victim] = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
+	return false, writeback
+}
+
+// Contains reports whether pa's line is resident (no LRU side effect).
+func (c *Cache) Contains(pa physmem.Addr) bool {
+	set, tag := c.index(pa)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll drops every line (without writeback accounting: the A9's
+// invalidate-all maintenance op; Mini-NOVA uses clean+invalidate only on
+// explicit guest cache hypercalls).
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+	c.stats.Flushes++
+}
+
+// CleanInvalidateAll writes back dirty lines and drops everything,
+// returning the number of lines written back.
+func (c *Cache) CleanInvalidateAll() int {
+	wb := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid && c.sets[s][w].dirty {
+				wb++
+				c.stats.Writebacks++
+			}
+			c.sets[s][w] = line{}
+		}
+	}
+	c.stats.Flushes++
+	return wb
+}
+
+// InvalidateLine drops the line containing pa, returning whether it was
+// dirty (caller decides on writeback cost).
+func (c *Cache) InvalidateLine(pa physmem.Addr) (wasDirty bool) {
+	set, tag := c.index(pa)
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag {
+			wasDirty = l.dirty
+			*l = line{}
+			return
+		}
+	}
+	return false
+}
+
+// ResidentLines counts valid lines (used by tests and the footprint report).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Penalties of the hierarchy in core cycles. The L1 hit cost is folded into
+// the 1-cycle issue cost charged by the CPU model; these are *additional*
+// cycles on top.
+const (
+	PenaltyL2Hit  = 8  // L1 miss, L2 hit
+	PenaltyDDR    = 60 // L2 miss, DDR fill
+	PenaltyWB     = 6  // dirty eviction drain (amortized; write buffer)
+	PenaltyLineWB = 10 // explicit clean of one dirty line
+)
+
+// Hierarchy bundles the A9's L1I, L1D and shared L2 and converts accesses
+// into cycle costs.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+}
+
+// NewA9Hierarchy returns the paper's configuration: 32 KB 4-way L1 I and D,
+// 512 KB 8-way L2.
+func NewA9Hierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1I: New("L1I", 32<<10, 4),
+		L1D: New("L1D", 32<<10, 4),
+		L2:  New("L2", 512<<10, 8),
+	}
+}
+
+// FetchCost runs an instruction fetch at pa through L1I/L2 and returns the
+// additional cycle cost (0 on L1 hit).
+func (h *Hierarchy) FetchCost(pa physmem.Addr) uint64 {
+	return h.cost(h.L1I, pa, false)
+}
+
+// DataCost runs a data access at pa through L1D/L2 and returns the
+// additional cycle cost.
+func (h *Hierarchy) DataCost(pa physmem.Addr, write bool) uint64 {
+	return h.cost(h.L1D, pa, write)
+}
+
+func (h *Hierarchy) cost(l1 *Cache, pa physmem.Addr, write bool) uint64 {
+	hit, wb := l1.Access(pa, write)
+	if hit {
+		return 0
+	}
+	var cost uint64
+	if wb {
+		cost += PenaltyWB
+		// the victim drains into L2; model as an L2 write touch
+		h.L2.Access(pa, true)
+	}
+	l2hit, l2wb := h.L2.Access(pa, write)
+	if l2hit {
+		return cost + PenaltyL2Hit
+	}
+	if l2wb {
+		cost += PenaltyWB
+	}
+	return cost + PenaltyL2Hit + PenaltyDDR
+}
+
+// WalkCost charges a hardware page-table walk access (bypasses L1, uses L2,
+// as the A9 walker does when page tables are marked outer-cacheable).
+func (h *Hierarchy) WalkCost(pa physmem.Addr) uint64 {
+	hit, wb := h.L2.Access(pa, false)
+	var cost uint64
+	if wb {
+		cost += PenaltyWB
+	}
+	if hit {
+		return cost + PenaltyL2Hit
+	}
+	return cost + PenaltyL2Hit + PenaltyDDR
+}

@@ -1,0 +1,177 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/physmem"
+)
+
+func TestMissThenHit(t *testing.T) {
+	c := New("t", 32<<10, 4)
+	pa := physmem.Addr(0x10_0000)
+	if hit, _ := c.Access(pa, false); hit {
+		t.Error("first access hit a cold cache")
+	}
+	if hit, _ := c.Access(pa, false); !hit {
+		t.Error("second access missed")
+	}
+	if hit, _ := c.Access(pa+LineSize-1, false); !hit {
+		t.Error("same-line access missed")
+	}
+	if hit, _ := c.Access(pa+LineSize, false); hit {
+		t.Error("next-line access hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewLRU("t", 4*LineSize, 4) // one set, 4 ways
+	setStride := physmem.Addr(LineSize)
+	// Fill 4 ways: lines 0..3.
+	for i := physmem.Addr(0); i < 4; i++ {
+		c.Access(0x10_0000+i*setStride*1, false) // all map to set 0? no: consecutive lines map to different sets
+	}
+	// With one set, every line maps to set 0 regardless; stride is irrelevant.
+	// Touch line 0 to make it MRU, then insert a 5th line: victim must be line 1.
+	c.Access(0x10_0000, false)
+	c.Access(0x20_0000, false) // new tag, evicts LRU
+	if !c.Contains(0x10_0000) {
+		t.Error("MRU line was evicted")
+	}
+	if c.Contains(0x10_0000 + setStride) {
+		t.Error("LRU line survived eviction")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := New("t", 2*LineSize, 2) // one set, 2 ways
+	c.Access(0x10_0000, true)    // dirty
+	c.Access(0x20_0000, false)
+	_, wb := c.Access(0x30_0000, false) // evicts the dirty line
+	if !wb {
+		t.Error("evicting dirty line did not report writeback")
+	}
+	st := c.Stats()
+	if st.Writebacks != 1 {
+		t.Errorf("Writebacks = %d, want 1", st.Writebacks)
+	}
+}
+
+func TestCleanInvalidateAll(t *testing.T) {
+	c := New("t", 32<<10, 4)
+	c.Access(0x10_0000, true)
+	c.Access(0x10_0040, true)
+	c.Access(0x10_0080, false)
+	if wb := c.CleanInvalidateAll(); wb != 2 {
+		t.Errorf("CleanInvalidateAll wrote back %d lines, want 2", wb)
+	}
+	if c.ResidentLines() != 0 {
+		t.Error("lines resident after clean+invalidate")
+	}
+}
+
+func TestInvalidateLine(t *testing.T) {
+	c := New("t", 32<<10, 4)
+	c.Access(0x10_0000, true)
+	if dirty := c.InvalidateLine(0x10_0000); !dirty {
+		t.Error("InvalidateLine lost dirtiness")
+	}
+	if c.Contains(0x10_0000) {
+		t.Error("line survived InvalidateLine")
+	}
+	if dirty := c.InvalidateLine(0x10_0000); dirty {
+		t.Error("second InvalidateLine reported dirty")
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	c := New("t", 1<<10, 2)
+	addrs := []physmem.Addr{0, 32, 64, 0, 4096, 8192, 0, 32}
+	for _, a := range addrs {
+		c.Access(0x10_0000+a, a%64 == 0)
+	}
+	st := c.Stats()
+	if st.Accesses() != uint64(len(addrs)) {
+		t.Errorf("Accesses = %d, want %d", st.Accesses(), len(addrs))
+	}
+	if st.Evictions > st.Misses {
+		t.Errorf("evictions %d > misses %d", st.Evictions, st.Misses)
+	}
+	if st.Writebacks > st.Evictions {
+		t.Errorf("writebacks %d > evictions %d", st.Writebacks, st.Evictions)
+	}
+}
+
+func TestHierarchyCosts(t *testing.T) {
+	h := NewA9Hierarchy()
+	h.L1D = NewLRU("L1D", 32<<10, 4) // deterministic eviction for this test
+	pa := physmem.Addr(0x10_0000)
+	// Cold: L1 miss + L2 miss.
+	if got := h.DataCost(pa, false); got != PenaltyL2Hit+PenaltyDDR {
+		t.Errorf("cold access cost = %d, want %d", got, PenaltyL2Hit+PenaltyDDR)
+	}
+	// Warm L1.
+	if got := h.DataCost(pa, false); got != 0 {
+		t.Errorf("L1 hit cost = %d, want 0", got)
+	}
+	// Evict from L1 only: touch enough lines in the same L1 set.
+	// L1D 32KB 4-way => 256 sets; same-set stride = 256*32 = 8KB.
+	for i := 1; i <= 4; i++ {
+		h.DataCost(pa+physmem.Addr(i*8<<10), false)
+	}
+	// pa now out of L1 (LRU victim) but still in L2.
+	if got := h.DataCost(pa, false); got != PenaltyL2Hit {
+		t.Errorf("L2 hit cost = %d, want %d", got, PenaltyL2Hit)
+	}
+}
+
+func TestHierarchySplitIAndD(t *testing.T) {
+	h := NewA9Hierarchy()
+	pa := physmem.Addr(0x20_0000)
+	h.FetchCost(pa) // warms L1I and L2
+	if got := h.DataCost(pa, false); got != PenaltyL2Hit {
+		t.Errorf("data access after fetch cost = %d, want L2 hit %d (split L1)", got, PenaltyL2Hit)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, tc := range []struct{ size, ways int }{{100, 4}, {6 * LineSize, 2}} {
+		func() {
+			defer func() { recover() }()
+			New("bad", tc.size, tc.ways)
+			t.Errorf("New(%d,%d) did not panic", tc.size, tc.ways)
+		}()
+	}
+}
+
+// Property: hits+misses always equals accesses, and a Contains() right after
+// Access() is always true.
+func TestPropertyAccessInvariants(t *testing.T) {
+	c := New("t", 8<<10, 4)
+	var n uint64
+	f := func(off uint16, write bool) bool {
+		pa := physmem.Addr(0x10_0000 + uint32(off))
+		c.Access(pa, write)
+		n++
+		st := c.Stats()
+		return st.Accesses() == n && c.Contains(pa)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: resident lines never exceed capacity.
+func TestPropertyCapacityBound(t *testing.T) {
+	c := New("t", 2<<10, 2)
+	capacity := 2 << 10 / LineSize
+	f := func(offs []uint16) bool {
+		for _, o := range offs {
+			c.Access(physmem.Addr(0x10_0000+uint32(o)*8), o%3 == 0)
+		}
+		return c.ResidentLines() <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

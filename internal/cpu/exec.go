@@ -1,0 +1,250 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/mmu"
+	"repro/internal/physmem"
+	"repro/internal/simclock"
+	"repro/internal/tlb"
+)
+
+// instrPerLine is how many 4-byte instructions share one 32-byte I-line.
+const instrPerLine = 8
+
+// microTLBSize models the A9 side micro-TLBs (32-entry on silicon; a
+// smaller model keeps main-TLB pressure visible).
+const microTLBSize = 8
+
+type microEntry struct {
+	page  uint32 // VA >> 12
+	tr    tlb.Translation
+	valid bool
+}
+
+// ExecContext is the lens through which a piece of software — kernel
+// routine, guest task, service — executes on the CPU. It charges the
+// simulated clock for instruction issue, I-fetch through L1I/L2, data
+// traffic through L1D/L2, and address translation through micro-TLB, main
+// TLB and hardware walks. Each software component owns one ExecContext
+// bound to the virtual address range its code occupies, so distinct
+// components contend for cache and TLB space exactly the way the paper's
+// Table III measures.
+type ExecContext struct {
+	CPU *CPU
+	// Name labels traces and errors.
+	Name string
+	// CodeBase/CodeSize delimit the component's code in its address space;
+	// the fetch cursor walks this range cyclically.
+	CodeBase, CodeSize uint32
+
+	cursor uint32 // byte offset of the next fetch within the code range
+
+	gen    uint64 // CPU generation the micro-TLBs were filled under
+	iMicro microEntry
+	dMicro [microTLBSize]microEntry
+	dNext  int
+
+	// Stalled is set when an unrecovered abort occurred; the owner (VM or
+	// kernel) decides what to do with a stalled context.
+	Stalled bool
+}
+
+// NewExecContext binds a context to its code range.
+func NewExecContext(c *CPU, name string, codeBase, codeSize uint32) *ExecContext {
+	if codeSize == 0 {
+		panic("cpu: ExecContext needs a non-empty code range")
+	}
+	return &ExecContext{CPU: c, Name: name, CodeBase: codeBase, CodeSize: codeSize}
+}
+
+func (e *ExecContext) checkGen() {
+	if e.gen != e.CPU.generation {
+		e.iMicro = microEntry{}
+		for i := range e.dMicro {
+			e.dMicro[i] = microEntry{}
+		}
+		e.gen = e.CPU.generation
+	}
+}
+
+// translate resolves va, using the data micro-TLB, and returns the PA.
+// Permission is rechecked even on micro hits (the micro-TLB caches
+// translations, not authorization). On an abort it consults the kernel and
+// retries once if the kernel fixed the mapping.
+func (e *ExecContext) translate(va uint32, write, fetch bool) (physmem.Addr, bool) {
+	e.checkGen()
+	m := e.CPU.MMU
+	if !m.Enabled {
+		return physmem.Addr(va), true
+	}
+	page := va >> 12
+	priv := e.CPU.Mode.Privileged()
+
+	var hit *microEntry
+	if fetch {
+		if e.iMicro.valid && e.iMicro.page == page {
+			hit = &e.iMicro
+		}
+	} else {
+		for i := range e.dMicro {
+			if e.dMicro[i].valid && e.dMicro[i].page == page {
+				hit = &e.dMicro[i]
+				break
+			}
+		}
+	}
+	if hit != nil {
+		// micro hit: charge nothing, but recheck domain/AP.
+		if okDomainAP(m, hit.tr, priv, write) {
+			return hit.tr.PhysAddr(va), true
+		}
+		// Permission changed (e.g. DACR flip): fall through to full path so
+		// the fault is generated with proper bookkeeping.
+	}
+
+	for attempt := 0; attempt < 2; attempt++ {
+		pa, cost, fault := m.Translate(va, priv, write, fetch)
+		e.CPU.Clock.Advance(simclock.Cycles(cost))
+		if fault == nil {
+			if tr, ok := m.TLB.Lookup(va, m.ASID); ok {
+				ent := microEntry{page: page, tr: tr, valid: true}
+				if fetch {
+					e.iMicro = ent
+				} else {
+					e.dMicro[e.dNext] = ent
+					e.dNext = (e.dNext + 1) % microTLBSize
+				}
+			}
+			return pa, true
+		}
+		if !e.CPU.deliverAbort(fault) {
+			e.Stalled = true
+			return 0, false
+		}
+		e.checkGen() // kernel may have edited tables / flushed TLB
+	}
+	e.Stalled = true
+	return 0, false
+}
+
+func okDomainAP(m *mmu.MMU, tr tlb.Translation, priv, write bool) bool {
+	switch m.DomainAccess(tr.Domain) {
+	case 1: // client
+		switch tr.AP {
+		case 1:
+			return priv
+		case 2:
+			return priv || !write
+		case 3:
+			return true
+		}
+		return false
+	case 3: // manager
+		return true
+	}
+	return false
+}
+
+// Exec charges n abstract instructions: issue cycles plus I-side fetch
+// traffic walking the component's code range, then samples the IRQ line.
+func (e *ExecContext) Exec(n int) {
+	if e.Stalled || n <= 0 {
+		return
+	}
+	c := e.CPU
+	c.stats.Instructions += uint64(n)
+	c.Clock.Advance(simclock.Cycles(n))
+	// Fetch cost: one L1I access per line of 8 instructions.
+	lines := (n + instrPerLine - 1) / instrPerLine
+	for i := 0; i < lines; i++ {
+		va := e.CodeBase + e.cursor
+		pa, ok := e.translate(va, false, true)
+		if !ok {
+			return
+		}
+		c.Clock.Advance(simclock.Cycles(c.Caches.FetchCost(pa)))
+		e.cursor += instrPerLine * 4
+		if e.cursor >= e.CodeSize {
+			e.cursor = 0
+		}
+	}
+	c.PollIRQ()
+}
+
+// Touch charges one data access at va (translation + D-cache) without
+// moving bytes; workloads use it to stream their working sets.
+func (e *ExecContext) Touch(va uint32, write bool) {
+	if e.Stalled {
+		return
+	}
+	pa, ok := e.translate(va, write, false)
+	if !ok {
+		return
+	}
+	e.CPU.Clock.Advance(simclock.Cycles(e.CPU.Caches.DataCost(pa, write)))
+}
+
+// TouchRange streams a [va, va+size) range at the given stride, charging
+// one access per step. Used to model a workload pass over a buffer.
+func (e *ExecContext) TouchRange(va, size, stride uint32, write bool) {
+	if stride == 0 {
+		stride = 4
+	}
+	for off := uint32(0); off < size; off += stride {
+		e.Touch(va+off, write)
+		if e.Stalled {
+			return
+		}
+	}
+}
+
+// Load32 performs a real data load: translation, cache cost, then the bus
+// access, returning the value. Guests use it for MMIO (e.g. PRR register
+// groups) and for shared data that must actually flow.
+func (e *ExecContext) Load32(va uint32) (uint32, error) {
+	if e.Stalled {
+		return 0, fmt.Errorf("cpu: %s: context stalled", e.Name)
+	}
+	pa, ok := e.translate(va, false, false)
+	if !ok {
+		return 0, fmt.Errorf("cpu: %s: unrecovered abort loading %#x", e.Name, va)
+	}
+	e.CPU.Clock.Advance(simclock.Cycles(e.CPU.Caches.DataCost(pa, false)))
+	return e.CPU.Bus.Read32(pa)
+}
+
+// Store32 performs a real data store.
+func (e *ExecContext) Store32(va uint32, v uint32) error {
+	if e.Stalled {
+		return fmt.Errorf("cpu: %s: context stalled", e.Name)
+	}
+	pa, ok := e.translate(va, true, false)
+	if !ok {
+		return fmt.Errorf("cpu: %s: unrecovered abort storing %#x", e.Name, va)
+	}
+	e.CPU.Clock.Advance(simclock.Cycles(e.CPU.Caches.DataCost(pa, true)))
+	return e.CPU.Bus.Write32(pa, v)
+}
+
+// VFPOp charges n VFP instructions. If CP10/11 is disabled the first op
+// traps UND so the kernel can lazily switch the VFP context (Table I);
+// when the handler enables VFP the op proceeds.
+func (e *ExecContext) VFPOp(n int) bool {
+	if e.Stalled {
+		return false
+	}
+	if !e.CPU.VFPEnabled {
+		if !e.CPU.trapUndef(UndefInfo{Kind: UndefVFP}) {
+			return false
+		}
+		if !e.CPU.VFPEnabled {
+			return false
+		}
+	}
+	e.Exec(n)
+	return true
+}
+
+// ResetCursor restarts the fetch cursor (e.g. when a task restarts).
+func (e *ExecContext) ResetCursor() { e.cursor = 0 }

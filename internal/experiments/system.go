@@ -1,0 +1,309 @@
+// Package experiments assembles full systems (virtualized and native) and
+// regenerates every measured artifact of the paper's evaluation (§V):
+// Table III (hardware-task-management overheads vs. number of guest OSes)
+// and Figure 9 (degradation ratios), plus the §V-B footprint scalars.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/hwtask"
+	"repro/internal/measure"
+	"repro/internal/nova"
+	"repro/internal/pl"
+	"repro/internal/simclock"
+	"repro/internal/ucos"
+)
+
+// Config parameterizes one evaluation run.
+type Config struct {
+	// Guests is the number of parallel uCOS-II VMs (paper: 1..4).
+	Guests int
+	// Iterations is the number of T_hw hardware-task requests per guest.
+	Iterations int
+	// QuantumMs is the guest time slice (paper: 33 ms).
+	QuantumMs float64
+	// TickMs is the guest OS tick period (paper-realistic: 1 ms).
+	TickMs float64
+	// RequestGapTicks is T_hw's delay between requests, in guest ticks.
+	// Roughly one request per slice mirrors the paper's heavy-workload
+	// regime.
+	RequestGapTicks uint32
+	// Warmup is the number of per-guest requests executed before the
+	// probes are reset: steady-state averages, as in the paper's
+	// "sufficient number of iterations".
+	Warmup int
+	// Seed diversifies the per-guest task-selection streams.
+	Seed uint32
+}
+
+// DefaultConfig returns the configuration used by cmd/experiments.
+func DefaultConfig() Config {
+	return Config{
+		Guests:          4,
+		Iterations:      24,
+		QuantumMs:       33,
+		TickMs:          1,
+		RequestGapTicks: 31,
+		Warmup:          4,
+		Seed:            1,
+	}
+}
+
+// PaperCores builds the behavioural IP-core set for the paper's tasks.
+func PaperCores() map[uint16]pl.Accel {
+	cores := map[uint16]pl.Accel{}
+	for _, id := range hwtask.FFTTaskIDs {
+		cores[id] = apps.FFTCore{}
+	}
+	for _, id := range hwtask.QAMTaskIDs {
+		cores[id] = apps.QAMCore{}
+	}
+	return cores
+}
+
+// taskPicker is the deterministic stand-in for T_hw's "randomly selects a
+// hardware task from the hardware task set" (§V-B). All VMs draw from the
+// shared QAM pool (Fig. 8: hardware tasks are shared across guests —
+// "one hardware task can be shared by any VM") plus a per-VM FFT stage.
+// This reproduces the paper's two §V-B growth mechanisms with the right
+// saturation: the probability that a request finds its task owned by
+// another VM — forcing a client reclaim with the §IV-C consistency
+// protocol — is roughly (N-1)/N, concave in N; and the number of
+// distinct FFT configurations competing for the two large PRRs grows
+// 1, 2, 3, 3, driving "more PCAP transfers" that likewise level off.
+type taskPicker struct {
+	state uint32
+	menu  [4]uint16
+}
+
+func newTaskPicker(seed uint32, vm int) *taskPicker {
+	if seed == 0 {
+		seed = 0x9E3779B9
+	}
+	return &taskPicker{
+		state: seed,
+		menu: [4]uint16{
+			hwtask.TaskQAM4,
+			hwtask.TaskQAM16,
+			hwtask.TaskQAM64,
+			hwtask.FFTTaskIDs[vm%3], // per-VM FFT stage
+		},
+	}
+}
+
+func (p *taskPicker) next() uint16 {
+	p.state ^= p.state << 13
+	p.state ^= p.state >> 17
+	p.state ^= p.state << 5
+	return p.menu[p.state%4]
+}
+
+// taskParams returns the Run() parameters for a catalog task.
+func taskParams(id uint16) (length, param uint32) {
+	switch {
+	case id >= hwtask.TaskFFT256 && id <= hwtask.TaskFFT8192:
+		points := uint32(hwtask.FFTPoints(id))
+		return points * 4, points
+	default:
+		return 48, uint32(hwtask.QAMOrder(id))
+	}
+}
+
+// hwDriverTask is T_hw: the special guest task that exercises the
+// Hardware Task Manager. It acquires a pseudo-random task, runs it once
+// through its data section, and sleeps until the next request. When
+// stopWhenDone is set (native baseline) it halts the OS after the last
+// iteration; under virtualization it parks so the VM keeps running.
+func hwDriverTask(cfg Config, vm int, done *bool, requests *int, stopWhenDone bool, onWarm func()) func(t *ucos.Task) {
+	return func(t *ucos.Task) {
+		picker := newTaskPicker(cfg.Seed*2654435761+uint32(vm)*97, vm)
+		if _, ok := t.OS.M.SetupDataSection(64 << 10); !ok {
+			panic("experiments: data section setup failed")
+		}
+		for i := 0; i < cfg.Warmup+cfg.Iterations; i++ {
+			if i == cfg.Warmup && onWarm != nil {
+				onWarm()
+			}
+			id := picker.next()
+			h, st := t.AcquireHw(id)
+			if h != nil {
+				length, param := taskParams(id)
+				h.Run(t, 0x1000, 0x9000, length, param, 400)
+				if i >= cfg.Warmup {
+					*requests++
+				}
+			} else if st == hwtask.ReplyBusy && i >= cfg.Warmup {
+				*requests++ // busy replies are manager executions too
+			}
+			t.Delay(cfg.RequestGapTicks)
+		}
+		*done = true
+		if stopWhenDone {
+			t.OS.Stop()
+			return
+		}
+		for {
+			t.Delay(1000) // park; keep the VM alive
+		}
+	}
+}
+
+// workloadTask runs the guest's heavy workload (GSM or ADPCM by VM id):
+// a dense codec pass over its live buffers plus sparse touches across its
+// wider heap (lookup tables, descriptors, history), which is what
+// pressures the shared TLB and L2 as more VMs run — the paper's stated
+// cause for the Table III growth ("increase of miss rate of cache and
+// TLB table").
+func workloadTask(vm int) func(t *ucos.Task) {
+	return func(t *ucos.Task) {
+		bufVA := t.OS.M.TaskCodeBase(30) + 0x10_0000
+		heapVA := t.OS.M.TaskCodeBase(30) + 0x20_0000
+		const heapPages = 72 // ~288 KB of occasionally-touched pages per VM
+		var w apps.Workload
+		if vm%2 == 0 {
+			w = apps.NewGSMWorkload(1, uint32(vm)+3)
+		} else {
+			w = apps.NewADPCMWorkload(1, uint32(vm)+5)
+		}
+		rng := uint32(vm)*2654435761 + 12345
+		for {
+			w.Step(t.Ctx, bufVA)
+			for i := 0; i < 6; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 17
+				rng ^= rng << 5
+				page := rng % heapPages
+				// One line per page: page-granular TLB pressure without
+				// sweeping whole pages through L2.
+				t.Ctx.Touch(heapVA+page*4096+(page&63)*64, i%3 == 0)
+			}
+			t.Exec(80)
+		}
+	}
+}
+
+// VirtSystem is a booted Mini-NOVA stack with n uCOS guests.
+type VirtSystem struct {
+	Kernel  *nova.Kernel
+	Manager *hwtask.Manager
+	Guests  []*ucos.Guest
+	done    []bool
+	reqs    []int
+	warmed  int
+}
+
+// BuildVirtSystem boots the full virtualized stack of Fig. 8: Mini-NOVA,
+// the PL fabric with the paper's 4 PRRs and FFT/QAM bitstream catalog,
+// the Hardware Task Manager service PD, and n uCOS-II guest VMs each
+// running a workload task plus T_hw.
+func BuildVirtSystem(cfg Config) *VirtSystem {
+	k := nova.NewKernel()
+	k.Sched = nova.NewScheduler(simclock.FromMillis(cfg.QuantumMs))
+
+	caps := hwtask.PaperPRRCapacities()
+	fabric := pl.NewFabric(k.Clock, k.Bus, k.GIC, caps)
+	for id, core := range PaperCores() {
+		fabric.RegisterCore(id, core)
+	}
+	k.AttachFabric(fabric)
+
+	mgr := hwtask.NewManager(len(caps), nova.GuestUserBase+0x10_0000)
+	if err := hwtask.InstallTaskSet(mgr, k.Bus, nova.BitstreamStorePA(), caps, hwtask.PaperTaskSet()); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	svc := hwtask.NewService(mgr, k)
+	svcPD := k.CreatePD(nova.PDConfig{
+		Name: "hwtm", Priority: nova.PrioService, Caps: nova.CapHwManager,
+		Guest: svc, CodeBase: nova.GuestUserBase, CodeSize: 8 << 10,
+		StartSuspended: true,
+	})
+	k.RegisterHwService(svcPD)
+
+	sys := &VirtSystem{
+		Kernel:  k,
+		Manager: mgr,
+		done:    make([]bool, cfg.Guests),
+		reqs:    make([]int, cfg.Guests),
+	}
+	onWarm := func() {
+		sys.warmed++
+		if sys.warmed == cfg.Guests {
+			k.Probes.Reset() // steady state reached: measure from here
+		}
+	}
+	for i := 0; i < cfg.Guests; i++ {
+		i := i
+		g := &ucos.Guest{
+			GuestName: fmt.Sprintf("ucos-vm%d", i),
+			Setup: func(os *ucos.OS) {
+				os.TickPeriod = simclock.FromMillis(cfg.TickMs)
+				os.TaskCreate("t_hw", 8, hwDriverTask(cfg, i, &sys.done[i], &sys.reqs[i], false, onWarm))
+				os.TaskCreate("workload", 30, workloadTask(i))
+			},
+		}
+		sys.Guests = append(sys.Guests, g)
+		k.CreatePD(nova.PDConfig{Name: g.GuestName, Priority: nova.PrioGuest, Guest: g})
+	}
+	return sys
+}
+
+// AllDone reports whether every guest's T_hw finished its iterations.
+func (s *VirtSystem) AllDone() bool {
+	for _, d := range s.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// Requests sums manager requests issued so far.
+func (s *VirtSystem) Requests() int {
+	n := 0
+	for _, r := range s.reqs {
+		n += r
+	}
+	return n
+}
+
+// RunToCompletion advances the system until all T_hw drivers finish (or
+// the safety horizon passes) and returns the kernel's probe set.
+func (s *VirtSystem) RunToCompletion(horizon simclock.Cycles) *measure.Set {
+	start := s.Kernel.Clock.Now()
+	for !s.AllDone() && s.Kernel.Clock.Now()-start < horizon {
+		s.Kernel.RunFor(simclock.FromMillis(20))
+	}
+	return s.Kernel.Probes
+}
+
+// NativeSystem is the baseline: one native uCOS-II with the manager as a
+// direct OS function (§V-B "native execution").
+type NativeSystem struct {
+	Machine *ucos.NativeMachine
+	OS      *ucos.OS
+	Probes  *measure.Set
+	done    bool
+	reqs    int
+}
+
+// BuildNativeSystem boots the baseline with the same two tasks.
+func BuildNativeSystem(cfg Config) *NativeSystem {
+	nm := ucos.NewNativeMachine(PaperCores())
+	os := ucos.NewOS("native-ucos", nm)
+	os.TickPeriod = simclock.FromMillis(cfg.TickMs)
+	sys := &NativeSystem{Machine: nm, OS: os, Probes: nm.Probes}
+	os.TaskCreate("t_hw", 8, hwDriverTask(cfg, 0, &sys.done, &sys.reqs, true, nm.Probes.Reset))
+	os.TaskCreate("workload", 30, workloadTask(0))
+	return sys
+}
+
+// RunToCompletion runs the baseline until T_hw finishes (the driver stops
+// the OS) or the safety horizon passes.
+func (s *NativeSystem) RunToCompletion(horizon simclock.Cycles) *measure.Set {
+	s.OS.Deadline = s.Machine.Now() + horizon
+	s.OS.Run()
+	s.OS.Shutdown()
+	return s.Probes
+}

@@ -1,0 +1,196 @@
+// Package gic models the ARM Generic Interrupt Controller (PL390) found on
+// the Zynq-7000: a distributor that latches and prioritizes interrupt
+// sources, and a CPU interface with the acknowledge / end-of-interrupt
+// protocol.
+//
+// Mini-NOVA keeps the physical GIC strictly to itself (paper §III-A: "
+// interrupt status registers can only be accessed by the privileged code")
+// and exposes virtual GICs to guests; this package is the physical half of
+// that split. The 16 shared peripheral interrupts wired from the FPGA
+// fabric (PL_IRQ[15:0], §IV-D) live at IRQ IDs PLIRQBase..PLIRQBase+15.
+package gic
+
+import "fmt"
+
+// Interrupt ID layout, following the Zynq TRM.
+const (
+	// NumIRQs is the number of interrupt IDs the distributor tracks.
+	NumIRQs = 96
+	// PrivateTimerIRQ is PPI #29, the per-CPU A9 private timer.
+	PrivateTimerIRQ = 29
+	// PCAPIRQ signals completion of a device-configuration (PCAP) DMA.
+	PCAPIRQ = 40
+	// UARTIRQ is the PS UART interrupt.
+	UARTIRQ = 59
+	// PLIRQBase is the first of the 16 PL-to-PS interrupt lines.
+	PLIRQBase = 61
+	// NumPLIRQs is the number of PL-to-PS lines (PL_IRQ[15:0]).
+	NumPLIRQs = 16
+	// SpuriousID is returned by Acknowledge when nothing is pending.
+	SpuriousID = 1023
+)
+
+type irqState struct {
+	enabled  bool
+	pending  bool
+	active   bool
+	priority uint8 // lower value = higher priority (ARM convention)
+}
+
+// GIC is the distributor + single-CPU interface (the paper pins everything
+// on CPU0 of the dual-core part).
+type GIC struct {
+	irqs         [NumIRQs]irqState
+	priorityMask uint8 // CPU interface PMR: only prios < mask are taken
+	ctrlEnabled  bool
+
+	// Signal is invoked on the rising edge of "an enabled interrupt is
+	// pending and not masked" — the nIRQ wire to the CPU model.
+	Signal func()
+
+	stats Stats
+}
+
+// Stats counts distributor events.
+type Stats struct {
+	Raised       uint64
+	Acknowledged uint64
+	Completed    uint64
+	Spurious     uint64
+}
+
+// New returns a GIC with all interrupts disabled at default priority 0xA0
+// and the CPU interface accepting everything.
+func New() *GIC {
+	g := &GIC{priorityMask: 0xFF, ctrlEnabled: true}
+	for i := range g.irqs {
+		g.irqs[i].priority = 0xA0
+	}
+	return g
+}
+
+func (g *GIC) check(id int) {
+	if id < 0 || id >= NumIRQs {
+		panic(fmt.Sprintf("gic: interrupt id %d out of range", id))
+	}
+}
+
+// Enable unmasks one interrupt source at the distributor.
+func (g *GIC) Enable(id int) {
+	g.check(id)
+	g.irqs[id].enabled = true
+	g.maybeSignal()
+}
+
+// Disable masks one interrupt source. A pending interrupt stays latched
+// (as on hardware) and fires when re-enabled.
+func (g *GIC) Disable(id int) {
+	g.check(id)
+	g.irqs[id].enabled = false
+}
+
+// IsEnabled reports the distributor enable bit for id.
+func (g *GIC) IsEnabled(id int) bool {
+	g.check(id)
+	return g.irqs[id].enabled
+}
+
+// IsPending reports whether id is latched pending.
+func (g *GIC) IsPending(id int) bool {
+	g.check(id)
+	return g.irqs[id].pending
+}
+
+// SetPriority assigns a priority (0 = highest, 255 = lowest).
+func (g *GIC) SetPriority(id int, prio uint8) {
+	g.check(id)
+	g.irqs[id].priority = prio
+}
+
+// SetPriorityMask programs the CPU-interface PMR.
+func (g *GIC) SetPriorityMask(m uint8) {
+	g.priorityMask = m
+	g.maybeSignal()
+}
+
+// Raise latches an interrupt pending (device-side edge).
+func (g *GIC) Raise(id int) {
+	g.check(id)
+	g.stats.Raised++
+	g.irqs[id].pending = true
+	g.maybeSignal()
+}
+
+// ClearPending drops the pending latch without acknowledging (used by the
+// kernel when tearing down a VM's interrupts).
+func (g *GIC) ClearPending(id int) {
+	g.check(id)
+	g.irqs[id].pending = false
+}
+
+// highestPending returns the best deliverable IRQ, or -1.
+func (g *GIC) highestPending() int {
+	best := -1
+	for id := range g.irqs {
+		s := &g.irqs[id]
+		if s.enabled && s.pending && !s.active && s.priority < g.priorityMask {
+			if best < 0 || s.priority < g.irqs[best].priority || (s.priority == g.irqs[best].priority && id < best) {
+				best = id
+			}
+		}
+	}
+	return best
+}
+
+// PendingDeliverable reports whether the nIRQ line would be asserted.
+func (g *GIC) PendingDeliverable() bool {
+	return g.ctrlEnabled && g.highestPending() >= 0
+}
+
+func (g *GIC) maybeSignal() {
+	if g.PendingDeliverable() && g.Signal != nil {
+		g.Signal()
+	}
+}
+
+// Acknowledge implements a read of GICC_IAR: it returns the highest-
+// priority pending interrupt, marks it active, and clears its pending
+// latch. Returns SpuriousID when nothing is deliverable.
+func (g *GIC) Acknowledge() int {
+	id := g.highestPending()
+	if id < 0 {
+		g.stats.Spurious++
+		return SpuriousID
+	}
+	g.irqs[id].pending = false
+	g.irqs[id].active = true
+	g.stats.Acknowledged++
+	return id
+}
+
+// EOI implements a write of GICC_EOIR: deactivates the interrupt, allowing
+// the next delivery.
+func (g *GIC) EOI(id int) {
+	g.check(id)
+	if !g.irqs[id].active {
+		return // stray EOI is ignored, as on hardware in EOImode 0
+	}
+	g.irqs[id].active = false
+	g.stats.Completed++
+	g.maybeSignal()
+}
+
+// Stats returns a copy of the counters.
+func (g *GIC) Stats() Stats { return g.stats }
+
+// EnabledSet snapshots the distributor enable bits (used by the VM switch
+// path to mask/unmask per-VM interrupt sets; paper §III-B).
+func (g *GIC) EnabledSet() []int {
+	var out []int
+	for id := range g.irqs {
+		if g.irqs[id].enabled {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package gic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRaiseAckEOICycle(t *testing.T) {
+	g := New()
+	g.Enable(UARTIRQ)
+	g.Raise(UARTIRQ)
+	if !g.PendingDeliverable() {
+		t.Fatal("enabled+pending not deliverable")
+	}
+	id := g.Acknowledge()
+	if id != UARTIRQ {
+		t.Fatalf("Acknowledge = %d, want %d", id, UARTIRQ)
+	}
+	if g.IsPending(UARTIRQ) {
+		t.Error("pending latch survived acknowledge")
+	}
+	// While active, the same line cannot be re-delivered.
+	g.Raise(UARTIRQ)
+	if got := g.Acknowledge(); got != SpuriousID {
+		t.Errorf("re-delivery while active: got %d, want spurious", got)
+	}
+	g.EOI(UARTIRQ)
+	if got := g.Acknowledge(); got != UARTIRQ {
+		t.Errorf("after EOI: Acknowledge = %d, want %d", got, UARTIRQ)
+	}
+}
+
+func TestDisabledStaysLatched(t *testing.T) {
+	g := New()
+	g.Raise(PLIRQBase)
+	if g.PendingDeliverable() {
+		t.Error("disabled interrupt deliverable")
+	}
+	g.Enable(PLIRQBase)
+	if !g.PendingDeliverable() {
+		t.Error("latched interrupt lost on enable")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	g := New()
+	g.Enable(PrivateTimerIRQ)
+	g.Enable(PLIRQBase)
+	g.SetPriority(PrivateTimerIRQ, 0x20)
+	g.SetPriority(PLIRQBase, 0x80)
+	g.Raise(PLIRQBase)
+	g.Raise(PrivateTimerIRQ)
+	if id := g.Acknowledge(); id != PrivateTimerIRQ {
+		t.Errorf("Acknowledge = %d, want higher-priority timer %d", id, PrivateTimerIRQ)
+	}
+	if id := g.Acknowledge(); id != PLIRQBase {
+		t.Errorf("second Acknowledge = %d, want %d", id, PLIRQBase)
+	}
+}
+
+func TestPriorityMask(t *testing.T) {
+	g := New()
+	g.Enable(UARTIRQ)
+	g.SetPriority(UARTIRQ, 0xB0)
+	g.SetPriorityMask(0xA0)
+	g.Raise(UARTIRQ)
+	if g.PendingDeliverable() {
+		t.Error("interrupt below PMR delivered")
+	}
+	g.SetPriorityMask(0xFF)
+	if !g.PendingDeliverable() {
+		t.Error("raising PMR did not unmask")
+	}
+}
+
+func TestSignalEdge(t *testing.T) {
+	g := New()
+	fired := 0
+	g.Signal = func() { fired++ }
+	g.Enable(UARTIRQ)
+	g.Raise(UARTIRQ)
+	if fired == 0 {
+		t.Error("Signal not invoked on raise of enabled IRQ")
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	g := New()
+	g.Enable(PLIRQBase)
+	g.Enable(PLIRQBase + 5)
+	g.Raise(PLIRQBase + 5)
+	g.Raise(PLIRQBase)
+	if id := g.Acknowledge(); id != PLIRQBase {
+		t.Errorf("equal priorities: got %d, want lowest id %d", id, PLIRQBase)
+	}
+}
+
+func TestStrayEOIIgnored(t *testing.T) {
+	g := New()
+	g.EOI(UARTIRQ) // must not panic or count
+	if g.Stats().Completed != 0 {
+		t.Error("stray EOI counted as completion")
+	}
+}
+
+func TestEnabledSet(t *testing.T) {
+	g := New()
+	g.Enable(3)
+	g.Enable(PLIRQBase + 2)
+	set := g.EnabledSet()
+	if len(set) != 2 || set[0] != 3 || set[1] != PLIRQBase+2 {
+		t.Errorf("EnabledSet = %v", set)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range id did not panic")
+		}
+	}()
+	New().Enable(NumIRQs)
+}
+
+// Property: acknowledged count never exceeds raised count, and every
+// Acknowledge that returns a real ID leaves that ID active until EOI.
+func TestPropertyAckBookkeeping(t *testing.T) {
+	f := func(ops []uint8) bool {
+		g := New()
+		for id := 0; id < NumIRQs; id++ {
+			g.Enable(id)
+		}
+		for _, op := range ops {
+			id := int(op) % NumIRQs
+			switch op % 3 {
+			case 0:
+				g.Raise(id)
+			case 1:
+				got := g.Acknowledge()
+				if got != SpuriousID {
+					if g.IsPending(got) {
+						return false
+					}
+				}
+			case 2:
+				g.EOI(id)
+			}
+		}
+		s := g.Stats()
+		return s.Acknowledged <= s.Raised && s.Completed <= s.Acknowledged
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package hwtask
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/physmem"
+	"repro/internal/pl"
+)
+
+// Task IDs of the paper's evaluation set (§V-B, Fig. 8): an FFT family
+// ranging from 256 to 8192 points and a QAM family with constellation
+// sizes 4, 16 and 64.
+const (
+	TaskFFT256  = 1
+	TaskFFT512  = 2
+	TaskFFT1024 = 3
+	TaskFFT2048 = 4
+	TaskFFT4096 = 5
+	TaskFFT8192 = 6
+
+	TaskQAM4  = 10
+	TaskQAM16 = 11
+	TaskQAM64 = 12
+)
+
+// FFTTaskIDs and QAMTaskIDs enumerate the two families.
+var (
+	FFTTaskIDs = []uint16{TaskFFT256, TaskFFT512, TaskFFT1024, TaskFFT2048, TaskFFT4096, TaskFFT8192}
+	QAMTaskIDs = []uint16{TaskQAM4, TaskQAM16, TaskQAM64}
+)
+
+// FFTPoints returns the transform size of an FFT task ID.
+func FFTPoints(id uint16) int { return 256 << (id - TaskFFT256) }
+
+// QAMOrder returns the constellation size of a QAM task ID.
+func QAMOrder(id uint16) int { return 4 << (2 * (id - TaskQAM4)) }
+
+// PaperTaskSpec describes one catalog entry before installation.
+type PaperTaskSpec struct {
+	ID      uint16
+	Name    string
+	Variant uint16
+	Needs   bitstream.Resources
+	BitLen  int // payload bytes; drives PCAP latency
+}
+
+// PaperTaskSet returns the evaluation catalog. FFT blocks "are quite
+// large" — their resource needs exceed the small PRRs, so "only PRR1 and
+// PRR2 are large enough to contain the FFT tasks"; QAM modules "have a
+// small size and can be hosted in all four PRRs" (§V-B). Bitstream sizes
+// grow with the FFT point count, following the size↔delay relation of the
+// authors' earlier work ([17]).
+func PaperTaskSet() []PaperTaskSpec {
+	var specs []PaperTaskSpec
+	for i, id := range FFTTaskIDs {
+		specs = append(specs, PaperTaskSpec{
+			ID:      id,
+			Name:    fmt.Sprintf("FFT-%d", FFTPoints(id)),
+			Variant: uint16(i),
+			Needs:   bitstream.Resources{LUTs: 6000 + uint32(i)*400, BRAM: 16 + uint32(i)*2, DSP: 24},
+			BitLen:  150<<10 + i*30<<10,
+		})
+	}
+	for i, id := range QAMTaskIDs {
+		specs = append(specs, PaperTaskSpec{
+			ID:      id,
+			Name:    fmt.Sprintf("QAM-%d", QAMOrder(id)),
+			Variant: uint16(i),
+			Needs:   bitstream.Resources{LUTs: 1200 + uint32(i)*150, BRAM: 2, DSP: 4},
+			BitLen:  60<<10 + i*8<<10,
+		})
+	}
+	return specs
+}
+
+// PaperPRRCapacities returns the four-region layout of §V-B: two large
+// regions (FFT-capable) and two small ones (QAM only).
+func PaperPRRCapacities() []bitstream.Resources {
+	return []bitstream.Resources{
+		{LUTs: 10000, BRAM: 32, DSP: 48},
+		{LUTs: 10000, BRAM: 32, DSP: 48},
+		{LUTs: 2200, BRAM: 4, DSP: 8},
+		{LUTs: 2200, BRAM: 4, DSP: 8},
+	}
+}
+
+// InstallTaskSet encodes each spec's synthetic bitstream into the store
+// region on the bus (the .bit files of §IV-B, "stored in the DDR memory"),
+// registers the task in the manager's table with its PRR compatibility
+// list, and returns the specs for reference.
+func InstallTaskSet(m *Manager, bus *physmem.Bus, storePA physmem.Addr, capacities []bitstream.Resources, specs []PaperTaskSpec) error {
+	off := uint32(0)
+	for _, s := range specs {
+		bs := bitstream.Synthesize(s.ID, s.Variant, s.Needs, s.BitLen)
+		raw := bs.Encode()
+		if err := bus.WriteBytes(storePA+physmem.Addr(off), raw); err != nil {
+			return fmt.Errorf("hwtask: installing %s: %w", s.Name, err)
+		}
+		var prrs []int
+		for r, c := range capacities {
+			if s.Needs.Fits(c) {
+				prrs = append(prrs, r)
+			}
+		}
+		if len(prrs) == 0 {
+			return fmt.Errorf("hwtask: task %s fits no PRR", s.Name)
+		}
+		m.AddTask(&TaskInfo{
+			ID:              s.ID,
+			Name:            s.Name,
+			Variant:         s.Variant,
+			BitstreamOff:    off,
+			BitstreamLen:    uint32(len(raw)),
+			ReconfigLatency: pl.TransferCycles(len(raw)),
+			Needs:           s.Needs,
+			PRRList:         prrs,
+		})
+		off += uint32(len(raw)+0xFFF) &^ 0xFFF // page-align entries
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package hwtask
+
+import (
+	"repro/internal/gic"
+	"repro/internal/nova"
+	"repro/internal/physmem"
+	"repro/internal/pl"
+)
+
+// Service adapts Manager to a Mini-NOVA protection domain: the user-level
+// Hardware Task Manager of §IV-E. It runs suspended at service priority
+// and is woken by the kernel whenever a guest issues HcHwTaskRequest;
+// every privileged effect goes through a capability portal.
+type Service struct {
+	M *Manager
+	K *nova.Kernel
+}
+
+// NewService wires a manager to a kernel.
+func NewService(m *Manager, k *nova.Kernel) *Service {
+	return &Service{M: m, K: k}
+}
+
+// Name implements nova.Guest.
+func (s *Service) Name() string { return "hwtask-manager" }
+
+// RunSlice is the service loop: fetch request, handle, post reply; the
+// HcMgrComplete portal suspends the service and hands back the next
+// request when one arrives.
+func (s *Service) RunSlice(env *nova.Env) {
+	reqID := env.Hypercall(nova.HcMgrNextRequest)
+	for {
+		view, ok := s.K.MgrRequest(reqID)
+		if !ok {
+			reqID = env.Hypercall(nova.HcMgrComplete, reqID, nova.StatusInval)
+			continue
+		}
+		kind := ReqAcquire
+		if view.Kind == nova.HwReqRelease {
+			kind = ReqRelease
+		}
+		req := Request{
+			Kind:     kind,
+			ReqID:    view.ID,
+			ClientID: view.ClientID,
+			TaskID:   view.TaskID,
+			IfaceVA:  view.IfaceVA,
+			DataVA:   view.DataVA,
+		}
+		// Opportunistically clear Loading flags for finished transfers.
+		if s.K.Fabric != nil && !s.K.Fabric.PCAP.Busy() {
+			for r := range s.M.PRRs {
+				s.M.PRRs[r].Loading = false
+			}
+		}
+		status := s.M.Handle(env.Ctx, req, &portalActions{env: env, req: req})
+		reqID = env.Hypercall(nova.HcMgrComplete, reqID, status)
+	}
+}
+
+// portalActions implements Actions through the HcMgr* capability portals.
+type portalActions struct {
+	env *nova.Env
+	req Request
+}
+
+func (a *portalActions) PRRBusy(prr int) bool {
+	k := a.env.K
+	if k.Fabric == nil {
+		return false
+	}
+	return k.Fabric.Busy(prr)
+}
+
+func (a *portalActions) Reclaim(clientID, prr int) {
+	a.env.Hypercall(nova.HcMgrUnmapIface, uint32(clientID), uint32(prr))
+}
+
+func (a *portalActions) MapIface(req Request, prr int) bool {
+	return a.env.Hypercall(nova.HcMgrMapIface, req.ReqID, uint32(prr)) == nova.StatusOK
+}
+
+func (a *portalActions) LoadWindow(req Request, prr int) bool {
+	return a.env.Hypercall(nova.HcMgrHwMMULoad, uint32(req.ClientID), uint32(prr)) == nova.StatusOK
+}
+
+func (a *portalActions) StartReconfig(req Request, t *TaskInfo, prr int) bool {
+	return a.env.Hypercall(nova.HcMgrPCAPStart, req.ReqID, t.BitstreamOff, t.BitstreamLen, uint32(prr)) == nova.StatusOK
+}
+
+func (a *portalActions) AllocIRQ(req Request, prr int) (int, bool) {
+	ret := a.env.Hypercall(nova.HcMgrAllocIRQ, req.ReqID, uint32(prr))
+	if ret < 32 || ret == nova.StatusErr {
+		return 0, false
+	}
+	return int(ret), true
+}
+
+// NativeActions implements Actions for the non-virtualized baseline: the
+// manager runs as an RTOS function in a unified, privileged address space
+// (§V-B "native execution"). There are no page tables to edit and no vGIC;
+// only the physical devices are programmed.
+type NativeActions struct {
+	Fabric *pl.Fabric
+	// Sections maps client id -> physical data-section window.
+	Sections map[int]pl.Window
+	// IRQEnable enables a GIC line directly (native uCOS owns the GIC).
+	IRQEnable func(irq int)
+	// StorePA is the physical base of the bitstream store.
+	StorePA uint32
+}
+
+// PRRBusy implements Actions.
+func (a *NativeActions) PRRBusy(prr int) bool { return a.Fabric.Busy(prr) }
+
+// Reclaim implements Actions: nothing to demap in a unified space.
+func (a *NativeActions) Reclaim(clientID, prr int) {}
+
+// MapIface implements Actions: the register group is already visible.
+func (a *NativeActions) MapIface(req Request, prr int) bool { return true }
+
+// LoadWindow implements Actions: still required — the hwMMU polices DMA
+// regardless of virtualization. The consistency flag at the head of the
+// data section is reset for the new owner, as the kernel does under
+// virtualization.
+func (a *NativeActions) LoadWindow(req Request, prr int) bool {
+	w, ok := a.Sections[req.ClientID]
+	if !ok {
+		return false
+	}
+	a.Fabric.HwMMU.Load(prr, w)
+	_ = a.Fabric.Bus.Write32(w.Base, 1 /* owned */)
+	return true
+}
+
+// StartReconfig implements Actions by programming the PCAP directly.
+func (a *NativeActions) StartReconfig(req Request, t *TaskInfo, prr int) bool {
+	if a.Fabric.PCAP.Busy() {
+		return false
+	}
+	bus := a.Fabric.Bus
+	dc := physmem.Addr(devcfgBase)
+	_ = bus.Write32(dc+pl.PCAPRegSrc, a.StorePA+t.BitstreamOff)
+	_ = bus.Write32(dc+pl.PCAPRegLen, t.BitstreamLen)
+	_ = bus.Write32(dc+pl.PCAPRegTarget, uint32(prr))
+	_ = bus.Write32(dc+pl.PCAPRegCtrl, 1)
+	return true
+}
+
+// AllocIRQ implements Actions: allocate the line and enable it at the GIC
+// (the native RTOS receives it directly).
+func (a *NativeActions) AllocIRQ(req Request, prr int) (int, bool) {
+	if line := a.Fabric.PRRs[prr].IRQLine; line >= 0 {
+		return gic.PLIRQBase + line, true
+	}
+	irq, err := a.Fabric.AllocateIRQ(prr)
+	if err != nil {
+		return 0, false
+	}
+	if a.IRQEnable != nil {
+		a.IRQEnable(irq)
+	}
+	return irq, true
+}
+
+const devcfgBase = 0xF800_7000

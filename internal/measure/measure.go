@@ -1,0 +1,106 @@
+// Package measure provides the instrumentation used by the evaluation
+// harness: named latency probes accumulating cycle-duration samples. The
+// paper's Table III numbers are averages over "a sufficient number of
+// iterations" of exactly these phases (HW Manager entry, exit, execution,
+// PL IRQ entry); the probes aggregate the same way.
+package measure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simclock"
+)
+
+// Probe accumulates duration samples for one measured phase.
+type Probe struct {
+	Count uint64
+	Total simclock.Cycles
+	Min   simclock.Cycles
+	Max   simclock.Cycles
+}
+
+// Add records one sample.
+func (p *Probe) Add(d simclock.Cycles) {
+	if p.Count == 0 || d < p.Min {
+		p.Min = d
+	}
+	if d > p.Max {
+		p.Max = d
+	}
+	p.Count++
+	p.Total += d
+}
+
+// MeanCycles returns the average sample in cycles (0 when empty).
+func (p *Probe) MeanCycles() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return float64(p.Total) / float64(p.Count)
+}
+
+// MeanMicros returns the average sample in microseconds.
+func (p *Probe) MeanMicros() float64 {
+	return p.MeanCycles() / float64(simclock.CyclesPerMicrosecond)
+}
+
+// Set is a collection of named probes.
+type Set struct {
+	probes map[string]*Probe
+}
+
+// NewSet returns an empty probe set.
+func NewSet() *Set { return &Set{probes: make(map[string]*Probe)} }
+
+// Get returns (creating if needed) the named probe.
+func (s *Set) Get(name string) *Probe {
+	p, ok := s.probes[name]
+	if !ok {
+		p = &Probe{}
+		s.probes[name] = p
+	}
+	return p
+}
+
+// Add records a sample on the named probe.
+func (s *Set) Add(name string, d simclock.Cycles) { s.Get(name).Add(d) }
+
+// Reset clears all samples but keeps the probe names.
+func (s *Set) Reset() {
+	for _, p := range s.probes {
+		*p = Probe{}
+	}
+}
+
+// Names lists probes in sorted order.
+func (s *Set) Names() []string {
+	out := make([]string, 0, len(s.probes))
+	for n := range s.probes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a compact summary table.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		p := s.probes[n]
+		fmt.Fprintf(&b, "%-16s n=%-6d mean=%8.3fus min=%8.3fus max=%8.3fus\n",
+			n, p.Count, p.MeanMicros(), p.Min.Micros(), p.Max.Micros())
+	}
+	return b.String()
+}
+
+// Phase names used by the kernel for the Table III columns.
+const (
+	PhaseMgrEntry   = "mgr_entry"   // hypercall to manager dispatch
+	PhaseMgrExit    = "mgr_exit"    // manager self-suspend to guest resume
+	PhaseMgrExec    = "mgr_exec"    // manager request handling
+	PhasePLIRQEntry = "plirq_entry" // exception vector to vGIC injection
+	PhaseVMSwitch   = "vm_switch"   // full world switch
+	PhaseHypercall  = "hypercall"   // generic hypercall round trip
+)

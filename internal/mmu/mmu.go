@@ -1,0 +1,232 @@
+// Package mmu models the ARM VMSA virtual memory system used by the
+// Cortex-A9: a two-level page-table format (1 MB sections + 4 KB small
+// pages), 16 protection domains checked against the DACR, access-permission
+// bits, TTBR/CONTEXTIDR registers and hardware table walks.
+//
+// Page tables are real data structures stored in simulated physical memory
+// (through physmem.Bus), so a table walk fetches descriptors through the
+// same L2 cache the rest of the system uses — the TLB-miss cost that Table
+// III attributes to VM multiplexing comes out of this mechanism, not a
+// formula.
+//
+// This is the substrate for two Mini-NOVA mechanisms from the paper:
+//   - §III-C / Table II: guest-kernel vs guest-user isolation via DACR
+//     (both run in the CPU's non-privileged mode, so AP bits alone cannot
+//     separate them),
+//   - §IV-C / Fig. 5: exclusive hardware-task interfaces, where a PRR
+//     register page is mapped into exactly one VM's table at a time.
+package mmu
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/physmem"
+	"repro/internal/tlb"
+)
+
+// Descriptor type bits (simplified VMSA short-descriptor format).
+const (
+	descFault   = 0x0
+	descCoarse  = 0x1 // L1: pointer to a 256-entry L2 table
+	descSection = 0x2 // L1: 1 MB section
+	descSmall   = 0x2 // L2: 4 KB small page
+)
+
+// Access permissions (AP[1:0] of the short-descriptor format).
+const (
+	APNone   uint8 = 0 // no access from any mode
+	APPriv   uint8 = 1 // privileged read/write, user none (host-kernel pages)
+	APUserRO uint8 = 2 // privileged read/write, user read-only
+	APFull   uint8 = 3 // read/write from both privilege levels
+)
+
+// Domain access values held in DACR fields (2 bits each).
+const (
+	DomainNoAccess uint8 = 0 // any access generates a domain fault
+	DomainClient   uint8 = 1 // accesses checked against AP bits
+	DomainManager  uint8 = 3 // accesses never checked (used only by tests)
+)
+
+// FaultKind classifies MMU aborts, mirroring the DFSR encodings the kernel
+// cares about.
+type FaultKind int
+
+const (
+	// FaultTranslation: invalid descriptor — unmapped address.
+	FaultTranslation FaultKind = iota
+	// FaultDomain: the descriptor's domain is NoAccess in the current DACR.
+	FaultDomain
+	// FaultPermission: AP bits forbid the access in the current mode.
+	FaultPermission
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTranslation:
+		return "translation"
+	case FaultDomain:
+		return "domain"
+	case FaultPermission:
+		return "permission"
+	}
+	return "unknown"
+}
+
+// Fault describes an aborted access: the kernel's ABT handler receives it
+// as the simulated FAR/FSR pair.
+type Fault struct {
+	Kind  FaultKind
+	VA    uint32
+	Write bool
+	Fetch bool // prefetch abort (instruction side) vs data abort
+}
+
+func (f *Fault) Error() string {
+	side := "data"
+	if f.Fetch {
+		side = "prefetch"
+	}
+	return fmt.Sprintf("mmu: %s abort (%s fault) at va=%#08x write=%v", side, f.Kind, f.VA, f.Write)
+}
+
+// MMU bundles the translation registers and performs checked translations.
+type MMU struct {
+	Bus   *physmem.Bus
+	TLB   *tlb.TLB
+	Cache *cache.Hierarchy
+
+	Enabled bool
+	TTBR    physmem.Addr // base of the active L1 table (16 KB aligned)
+	DACR    uint32       // 16 × 2-bit domain fields
+	ASID    uint8        // CONTEXTIDR low byte
+
+	// KernelDomain entries are inserted into the TLB as global: the kernel
+	// mapping is identical in every address space (paper §III-C maps the
+	// microkernel into each VM's table at privileged-only permissions).
+	KernelDomain uint8
+
+	stats WalkStats
+}
+
+// WalkStats counts hardware table walks.
+type WalkStats struct {
+	Walks       uint64
+	WalkCycles  uint64
+	Faults      uint64
+	DomainFlips uint64 // DACR rewrites (guest kernel<->user transitions)
+}
+
+// New builds an MMU over the given bus, TLB and cache hierarchy.
+func New(bus *physmem.Bus, t *tlb.TLB, h *cache.Hierarchy) *MMU {
+	return &MMU{Bus: bus, TLB: t, Cache: h, KernelDomain: 15}
+}
+
+// Stats returns walk counters.
+func (m *MMU) Stats() WalkStats { return m.stats }
+
+// SetDACR rewrites the domain register (counted: Mini-NOVA flips the guest
+// kernel's domain between Client and NoAccess on every guest privilege
+// transition, Table II).
+func (m *MMU) SetDACR(v uint32) {
+	if m.DACR != v {
+		m.stats.DomainFlips++
+	}
+	m.DACR = v
+}
+
+// DomainAccess extracts the 2-bit field for domain d.
+func (m *MMU) DomainAccess(d uint8) uint8 {
+	return uint8(m.DACR >> (2 * d) & 3)
+}
+
+// Translate resolves va for the given mode, charging TLB/walk costs, and
+// returns the physical address plus the cycle cost incurred. On failure the
+// returned fault describes the abort and cost covers the walk so far.
+func (m *MMU) Translate(va uint32, privileged, write, fetch bool) (physmem.Addr, uint64, *Fault) {
+	if !m.Enabled {
+		return physmem.Addr(va), 0, nil
+	}
+	var cost uint64
+	tr, hit := m.TLB.Lookup(va, m.ASID)
+	if !hit {
+		var f *Fault
+		tr, cost, f = m.walk(va, write, fetch)
+		if f != nil {
+			m.stats.Faults++
+			return 0, cost, f
+		}
+		m.TLB.Insert(va, m.ASID, tr.Domain == m.KernelDomain, tr)
+	}
+	// Domain check (DACR).
+	switch m.DomainAccess(tr.Domain) {
+	case DomainNoAccess:
+		m.stats.Faults++
+		return 0, cost, &Fault{Kind: FaultDomain, VA: va, Write: write, Fetch: fetch}
+	case DomainManager:
+		return tr.PhysAddr(va), cost, nil
+	}
+	// Client: AP check.
+	if !apAllows(tr.AP, privileged, write) {
+		m.stats.Faults++
+		return 0, cost, &Fault{Kind: FaultPermission, VA: va, Write: write, Fetch: fetch}
+	}
+	return tr.PhysAddr(va), cost, nil
+}
+
+func apAllows(ap uint8, privileged, write bool) bool {
+	switch ap {
+	case APNone:
+		return false
+	case APPriv:
+		return privileged
+	case APUserRO:
+		return privileged || !write
+	case APFull:
+		return true
+	}
+	return false
+}
+
+// walk performs the two-level hardware table walk, charging L2-side
+// descriptor fetch costs through the cache hierarchy.
+func (m *MMU) walk(va uint32, write, fetch bool) (tlb.Translation, uint64, *Fault) {
+	m.stats.Walks++
+	cost := uint64(tlb.WalkPenalty)
+	l1i := va >> 20
+	l1addr := m.TTBR + physmem.Addr(l1i*4)
+	cost += m.Cache.WalkCost(l1addr)
+	l1d, err := m.Bus.Read32(l1addr)
+	if err != nil {
+		return tlb.Translation{}, cost, &Fault{Kind: FaultTranslation, VA: va, Write: write, Fetch: fetch}
+	}
+	switch l1d & 3 {
+	case descSection:
+		tr := tlb.Translation{
+			PFN:    l1d >> 12 &^ 0xFF, // 1MB-aligned PA expressed as PFN
+			Domain: uint8(l1d >> 5 & 0xF),
+			AP:     uint8(l1d >> 10 & 3),
+			Large:  true,
+		}
+		m.stats.WalkCycles += cost
+		return tr, cost, nil
+	case descCoarse:
+		l2base := physmem.Addr(l1d &^ 0x3FF)
+		l2i := va >> 12 & 0xFF
+		l2addr := l2base + physmem.Addr(l2i*4)
+		cost += m.Cache.WalkCost(l2addr)
+		l2d, err := m.Bus.Read32(l2addr)
+		if err != nil || l2d&3 != descSmall {
+			return tlb.Translation{}, cost, &Fault{Kind: FaultTranslation, VA: va, Write: write, Fetch: fetch}
+		}
+		tr := tlb.Translation{
+			PFN:    l2d >> 12,
+			Domain: uint8(l1d >> 5 & 0xF), // domain lives in the L1 descriptor
+			AP:     uint8(l2d >> 4 & 3),
+		}
+		m.stats.WalkCycles += cost
+		return tr, cost, nil
+	default:
+		return tlb.Translation{}, cost, &Fault{Kind: FaultTranslation, VA: va, Write: write, Fetch: fetch}
+	}
+}

@@ -1,0 +1,653 @@
+package nova
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/gic"
+	"repro/internal/measure"
+	"repro/internal/mmu"
+	"repro/internal/physmem"
+	"repro/internal/pl"
+	"repro/internal/simclock"
+)
+
+// HwRequestKind distinguishes allocation requests from releases.
+type HwRequestKind int
+
+// Request kinds.
+const (
+	HwReqAcquire HwRequestKind = iota
+	HwReqRelease
+)
+
+// HwRequest is one queued hardware-task request (§IV-E: "Three arguments
+// are passed via this hypercall: the target hardware task ID number, the
+// virtual address of the task interface, and the virtual address of the
+// hardware task data section").
+type HwRequest struct {
+	ID      uint32
+	Kind    HwRequestKind
+	PD      *PD
+	TaskID  uint16
+	IfaceVA uint32
+	DataVA  uint32
+
+	reply   uint32
+	replied bool
+}
+
+// hcBaseCost is the handler path length in instructions for each
+// hypercall — the kernel code the SWI dispatcher and the handler execute.
+var hcBaseCost = map[int]int{
+	HcNull: 18, HcPrint: 30, HcVMID: 20, HcYield: 28,
+	HcTimerSet: 55, HcTimerCancel: 35, HcIRQEnable: 45, HcIRQDisable: 45,
+	HcIRQEOI: 32, HcCacheFlush: 60, HcTLBFlush: 40, HcMapPage: 90,
+	HcUnmapPage: 80, HcRegionCreate: 85, HcDACRSwitch: 30,
+	HcHwTaskRequest: 95, HcHwTaskRelease: 70, HcHwTaskStatus: 40,
+	HcIPCSend: 70, HcIPCRecv: 60, HcUARTWrite: 35, HcUARTRead: 35,
+	HcSDRead: 120, HcSDWrite: 120, HcSuspend: 40,
+	HcMgrNextRequest: 50, HcMgrMapIface: 110, HcMgrUnmapIface: 70,
+	HcMgrHwMMULoad: 45, HcMgrPCAPStart: 85, HcMgrComplete: 60,
+	HcMgrAllocIRQ: 75,
+}
+
+// onSWI is the kernel's hypercall dispatcher — the PD exception interface
+// of §III-A, distributing calls to capability portals.
+func (k *Kernel) onSWI(num int, args [4]uint32) uint32 {
+	t0 := k.Clock.Now()
+	pd := k.Current
+	if pd == nil {
+		return StatusErr
+	}
+	pd.Hypercalls++
+	k.kctx.Exec(hcBaseCost[num] + 14) // vector + dispatch table + handler
+	k.kctx.Touch(pd.kdata, false)     // PD descriptor lookup
+
+	var ret uint32
+	switch {
+	case num < NumHypercalls:
+		ret = k.guestCall(pd, num, args)
+	case num <= HcMgrAllocIRQ:
+		if pd.Caps&CapHwManager == 0 {
+			ret = StatusDenied
+		} else {
+			ret = k.managerPortal(pd, num, args)
+		}
+	default:
+		ret = StatusInval
+	}
+	k.Probes.Add(measure.PhaseHypercall, k.Clock.Now()-t0)
+	return ret
+}
+
+func (k *Kernel) guestCall(pd *PD, num int, args [4]uint32) uint32 {
+	switch num {
+	case HcNull:
+		return StatusOK
+
+	case HcPrint:
+		k.Console.WriteByte(byte(args[0]))
+		k.Clock.Advance(CostDeviceAccess)
+		return StatusOK
+
+	case HcVMID:
+		return uint32(pd.ID)
+
+	case HcYield:
+		k.quantumExpired = true
+		k.needResched = true
+		return StatusOK
+
+	case HcTimerSet:
+		return k.hcTimerSet(pd, simclock.Cycles(args[0]))
+
+	case HcTimerCancel:
+		k.parkVirtualTimer(pd)
+		pd.VCPU.TimerPeriod = 0
+		pd.timerRemaining = 0
+		return StatusOK
+
+	case HcIRQEnable:
+		irq := int(args[0])
+		if irq == gic.PrivateTimerIRQ {
+			pd.VGIC.Register(irq) // virtual timer PPI: self-service
+		}
+		if !pd.VGIC.Enable(irq) {
+			return StatusDenied
+		}
+		if physicalLine(irq) && pd == k.Current {
+			k.GIC.Enable(irq)
+			k.Clock.Advance(CostDeviceAccess)
+		}
+		return StatusOK
+
+	case HcIRQDisable:
+		irq := int(args[0])
+		if !pd.VGIC.Disable(irq) {
+			return StatusDenied
+		}
+		if physicalLine(irq) {
+			k.GIC.Disable(irq)
+			k.Clock.Advance(CostDeviceAccess)
+		}
+		return StatusOK
+
+	case HcIRQEOI:
+		if !pd.VGIC.EOI(int(args[0])) {
+			return StatusInval
+		}
+		return StatusOK
+
+	case HcCacheFlush:
+		k.CPU.CP15Write(cpu.CP15DCCISW, 0)
+		return StatusOK
+
+	case HcTLBFlush:
+		k.CPU.CP15Write(cpu.CP15TLBIASID, uint32(pd.ASID))
+		return StatusOK
+
+	case HcMapPage:
+		return k.hcMapPage(pd, args[0], args[1])
+
+	case HcUnmapPage:
+		return k.hcUnmapPage(pd, args[0])
+
+	case HcRegionCreate:
+		return k.hcRegionCreate(pd, args[0], args[1])
+
+	case HcDACRSwitch:
+		guestKernelCtx := args[0] != 0
+		d := dacrFor(guestKernelCtx)
+		pd.VCPU.DACR = d
+		k.CPU.CP15Write(cpu.CP15DACR, d)
+		return StatusOK
+
+	case HcHwTaskRequest:
+		return k.hcHwTaskRequest(pd, HwReqAcquire, args)
+
+	case HcHwTaskRelease:
+		return k.hcHwTaskRequest(pd, HwReqRelease, args)
+
+	case HcHwTaskStatus:
+		return k.hcHwTaskStatus(pd, args[0])
+
+	case HcIPCSend:
+		return k.hcIPCSend(pd, int(args[0]), args[1])
+
+	case HcIPCRecv:
+		return k.hcIPCRecv(pd, args[0] != 0)
+
+	case HcUARTWrite:
+		k.Console.WriteByte(byte(args[0]))
+		k.Clock.Advance(CostDeviceAccess)
+		return StatusOK
+
+	case HcUARTRead:
+		k.Clock.Advance(CostDeviceAccess)
+		return 0 // no input source modelled; returns "no data"
+
+	case HcSDRead:
+		return k.hcSD(pd, args[0], args[1], false)
+
+	case HcSDWrite:
+		if pd.Caps&CapIODirect == 0 {
+			return StatusDenied
+		}
+		return k.hcSD(pd, args[0], args[1], true)
+
+	case HcSuspend:
+		if args[0] == 1 {
+			// Paravirtualized idle: sleep until a virtual interrupt is
+			// injected (the guest's WFI). A pending injection returns
+			// immediately.
+			if pd.VGIC.HasPending() {
+				return StatusOK
+			}
+			pd.idleWaiting = true
+			pd.Env.block()
+			pd.idleWaiting = false
+			return StatusOK
+		}
+		pd.Env.block()
+		return StatusOK
+	}
+	return StatusInval
+}
+
+// hcTimerSet programs the caller's virtual timer. Virtual time advances
+// only while the VM executes: the timer is parked across switch-out and
+// resumed on switch-in, so a guest's tick count tracks its own runtime —
+// as on the paper's platform, where the virtual timer state is part of
+// the actively-switched vCPU (Table I).
+func (k *Kernel) hcTimerSet(pd *PD, period simclock.Cycles) uint32 {
+	if period < 100 {
+		return StatusInval // guard against interrupt storms
+	}
+	k.parkVirtualTimer(pd)
+	pd.VCPU.TimerPeriod = period
+	pd.timerRemaining = period
+	if pd == k.Current {
+		k.armVirtualTimer(pd)
+	}
+	return StatusOK
+}
+
+// hcMapPage inserts va -> RAMBase+offset into the caller's own table —
+// "memory management: mapping inserting, guest page table creation"
+// (§III-A). Guests may only map their own RAM below the kernel split.
+func (k *Kernel) hcMapPage(pd *PD, va, offset uint32) uint32 {
+	if va&0xFFF != 0 || offset&0xFFF != 0 || offset >= pd.RAMSize || va >= KernelCodeVA-0x1000_0000 {
+		return StatusInval
+	}
+	pd.Table.MapPage(va, pd.RAMBase+physmem.Addr(offset), DomainGuestUser, mmu.APFull)
+	k.chargePTEdit(pd, va)
+	k.CPU.CP15Write(cpu.CP15TLBIMVA, va)
+	return StatusOK
+}
+
+func (k *Kernel) hcUnmapPage(pd *PD, va uint32) uint32 {
+	if va >= KernelCodeVA-0x1000_0000 {
+		return StatusInval
+	}
+	pd.Table.UnmapPage(va)
+	k.chargePTEdit(pd, va)
+	k.CPU.CP15Write(cpu.CP15TLBIMVA, va)
+	return StatusOK
+}
+
+// chargePTEdit charges the descriptor traffic of a page-table update —
+// the cost the paper attributes to the virtualized manager ("switching to
+// the kernel space to update the target VM's page table").
+func (k *Kernel) chargePTEdit(pd *PD, va uint32) {
+	for range pd.Table.DescriptorAddrs(va) {
+		k.kctx.Touch(0xF020_0000+(va>>12&0x3FF)*4, true)
+	}
+}
+
+// hcRegionCreate registers [va, va+size) as the caller's hardware-task
+// data section (§IV-B: "each guest OS can define its own hardware task
+// data section within its own memory space").
+func (k *Kernel) hcRegionCreate(pd *PD, va, size uint32) uint32 {
+	if va&0xFFF != 0 || size == 0 || size&0xFFF != 0 || size > pd.RAMSize {
+		return StatusInval
+	}
+	pa, err := translateGuestVA(pd, va)
+	if err != nil {
+		return StatusInval
+	}
+	// The section must be fully mapped and physically contiguous (it is a
+	// DMA window the hwMMU describes with one base+size pair): verify every
+	// page translates linearly.
+	for off := uint32(0x1000); off < size; off += 0x1000 {
+		p, err := translateGuestVA(pd, va+off)
+		if err != nil || p != pa+physmem.Addr(off) {
+			return StatusInval
+		}
+	}
+	pd.DataSectionVA, pd.DataSectionPA, pd.DataSectionSize = va, pa, size
+	return StatusOK
+}
+
+// hcHwTaskRequest queues a request for the Hardware Task Manager, wakes
+// the service, and blocks the caller until the manager posts the reply —
+// "the Hardware Task Manager service is created with a higher priority
+// level than general guests, so that this service can preempt guests and
+// execute immediately once it is invoked" (§IV-E).
+func (k *Kernel) hcHwTaskRequest(pd *PD, kind HwRequestKind, args [4]uint32) uint32 {
+	if k.hwSvc == nil || k.Fabric == nil {
+		return StatusErr
+	}
+	if kind == HwReqAcquire && pd.DataSectionSize == 0 {
+		return StatusInval // must register a data section first
+	}
+	k.nextReqID++
+	req := &HwRequest{
+		ID:      k.nextReqID,
+		Kind:    kind,
+		PD:      pd,
+		TaskID:  uint16(args[0]),
+		IfaceVA: args[1],
+		DataVA:  args[2],
+	}
+	k.hwQueue = append(k.hwQueue, req)
+	k.hwByID[req.ID] = req
+	k.kctx.Touch(KernelDataVA+0x9000+(req.ID%64)*16, true) // queue slot
+
+	// Arm the Table III "HW Manager entry" probe: from this hypercall
+	// (exception entry) to the manager fetching the request. When several
+	// requests queue (only possible if the service is not strictly above
+	// guest priority), the oldest one defines the entry latency.
+	if !k.mgrEntryArmed {
+		k.mgrEntryFrom = k.Clock.Now() - cpu.CostExceptionEntry
+		k.mgrEntryArmed = true
+	}
+
+	k.wake(k.hwSvc)
+	pd.Env.block() // resumes when the manager calls HcMgrComplete
+	delete(k.hwByID, req.ID)
+	return req.reply
+}
+
+// hcHwTaskStatus lets a guest poll PCAP completion ("by polling the
+// completion signal", §IV-E) or a held task's state.
+func (k *Kernel) hcHwTaskStatus(pd *PD, _ uint32) uint32 {
+	k.Clock.Advance(CostDeviceAccess)
+	if k.Fabric == nil {
+		return StatusErr
+	}
+	if k.Fabric.PCAP.Busy() && k.pcapOwner == pd {
+		return StatusReconfig
+	}
+	return StatusOK
+}
+
+func (k *Kernel) hcIPCSend(pd *PD, dst int, word uint32) uint32 {
+	if dst < 0 || dst >= len(k.PDs) || k.PDs[dst] == pd {
+		return StatusInval
+	}
+	to := k.PDs[dst]
+	if len(to.mbox) >= 16 {
+		return StatusBusy
+	}
+	to.mbox = append(to.mbox, ipcMsg{sender: pd.ID, word: word})
+	k.kctx.Touch(to.kdata+0x80, true)
+	if to.recvBlocked {
+		to.recvBlocked = false
+		k.wake(to)
+	}
+	return StatusOK
+}
+
+// hcIPCRecv returns sender<<24 | (word & 0xFFFFFF), or StatusNoMsg/blocks.
+func (k *Kernel) hcIPCRecv(pd *PD, blocking bool) uint32 {
+	for len(pd.mbox) == 0 {
+		if !blocking {
+			return StatusNoMsg
+		}
+		pd.recvBlocked = true
+		pd.Env.block()
+	}
+	m := pd.mbox[0]
+	pd.mbox = pd.mbox[1:]
+	k.kctx.Touch(pd.kdata+0x80, false)
+	return uint32(m.sender)<<24 | m.word&0xFF_FFFF
+}
+
+// hcSD copies one 512-byte block between the simulated SD card and the
+// caller's RAM (supervised shared I/O, §V-A).
+func (k *Kernel) hcSD(pd *PD, block, ramOffset uint32, write bool) uint32 {
+	if ramOffset+512 > pd.RAMSize {
+		return StatusInval
+	}
+	pa := pd.RAMBase + physmem.Addr(ramOffset)
+	k.Clock.Advance(simclock.Cycles(512 / 4 * 2)) // DMA-ish block move
+	if write {
+		data, err := k.Bus.ReadBytes(pa, 512)
+		if err != nil {
+			return StatusErr
+		}
+		k.sd[block] = data
+		return StatusOK
+	}
+	data, ok := k.sd[block]
+	if !ok {
+		data = make([]byte, 512)
+	}
+	if err := k.Bus.WriteBytes(pa, data); err != nil {
+		return StatusErr
+	}
+	return StatusOK
+}
+
+// --- Hardware Task Manager capability portals (§IV-E, Fig. 7) ---
+
+func (k *Kernel) managerPortal(pd *PD, num int, args [4]uint32) uint32 {
+	switch num {
+	case HcMgrNextRequest:
+		return k.mgrNextRequest(pd)
+
+	case HcMgrComplete:
+		return k.mgrComplete(pd, args[0], args[1])
+
+	case HcMgrMapIface:
+		return k.mgrMapIface(args[0], int(args[1]))
+
+	case HcMgrUnmapIface:
+		return k.mgrUnmapIface(int(args[0]), int(args[1]))
+
+	case HcMgrHwMMULoad:
+		return k.mgrHwMMULoad(int(args[0]), int(args[1]))
+
+	case HcMgrPCAPStart:
+		return k.mgrPCAPStart(args[0], args[1], args[2], args[3])
+
+	case HcMgrAllocIRQ:
+		return k.mgrAllocIRQ(args[0], int(args[1]))
+	}
+	return StatusInval
+}
+
+// mgrNextRequest pops the oldest queued request, blocking (service
+// suspends itself) while the queue is empty. Completing the entry probe
+// here captures hypercall + wakeup + world switch, the paper's "HW
+// Manager entry".
+func (k *Kernel) mgrNextRequest(pd *PD) uint32 {
+	for len(k.hwQueue) == 0 {
+		pd.Env.block()
+	}
+	req := k.hwQueue[0]
+	k.hwQueue = k.hwQueue[1:]
+	k.kctx.Touch(KernelDataVA+0x9000+(req.ID%64)*16, false)
+	if k.mgrEntryArmed {
+		k.Probes.Add(measure.PhaseMgrEntry, k.Clock.Now()-k.mgrEntryFrom)
+		k.mgrEntryArmed = false
+	}
+	// Manager execution starts when it receives the request (Table III's
+	// "HW Manager execution" row).
+	k.mgrExecFrom = k.Clock.Now()
+	k.mgrExecArmed = true
+	return req.ID
+}
+
+// mgrComplete posts the reply, wakes the requester, then immediately
+// waits for the next request (merged reply+suspend, §IV-E: "After
+// processing the request, the manager service will remove itself from the
+// running queue list, resuming the interrupted guest OS with a return
+// status"). Returns the next request ID when re-invoked.
+func (k *Kernel) mgrComplete(pd *PD, reqID, status uint32) uint32 {
+	req, ok := k.hwByID[reqID]
+	if !ok {
+		return StatusInval
+	}
+	req.reply = status
+	req.replied = true
+	if k.mgrExecArmed {
+		k.Probes.Add(measure.PhaseMgrExec, k.Clock.Now()-k.mgrExecFrom)
+		k.mgrExecArmed = false
+	}
+	k.wake(req.PD)
+	// Arm the "HW Manager exit" probe: from here to the world switch that
+	// resumes a guest.
+	k.mgrExitFrom = k.Clock.Now()
+	k.mgrExitArmed = true
+	return k.mgrNextRequest(pd)
+}
+
+// MgrRequestView is the read-only view of a request the manager sees (the
+// kernel maps the descriptor into the service's space).
+type MgrRequestView struct {
+	ID       uint32
+	Kind     HwRequestKind
+	ClientID int
+	TaskID   uint16
+	IfaceVA  uint32
+	DataVA   uint32
+}
+
+// MgrRequest exposes a queued request's fields to the manager service.
+func (k *Kernel) MgrRequest(reqID uint32) (MgrRequestView, bool) {
+	req, ok := k.hwByID[reqID]
+	if !ok {
+		return MgrRequestView{}, false
+	}
+	return MgrRequestView{
+		ID: req.ID, Kind: req.Kind, ClientID: req.PD.ID,
+		TaskID: req.TaskID, IfaceVA: req.IfaceVA, DataVA: req.DataVA,
+	}, true
+}
+
+// mgrMapIface maps the PRR's register page into the requesting client's
+// table at the VA the client asked for — stage (3) of Fig. 7. The page is
+// guest-user accessible, so the client programs its task directly; other
+// guests have no mapping, which is the exclusivity guarantee of §IV-C.
+func (k *Kernel) mgrMapIface(reqID uint32, prr int) uint32 {
+	req, ok := k.hwByID[reqID]
+	if !ok || k.Fabric == nil || prr < 0 || prr >= len(k.Fabric.PRRs) {
+		return StatusInval
+	}
+	va := req.IfaceVA
+	if va == 0 || va&0xFFF != 0 {
+		return StatusInval
+	}
+	client := req.PD
+	client.Table.MapPage(va, k.Fabric.GroupBase(prr), DomainGuestUser, mmu.APFull)
+	k.chargePTEdit(client, va)
+	k.CPU.TLB.FlushVA(va, client.ASID)
+	k.CPU.CP15Write(cpu.CP15TLBIMVA, va)
+	if client.ifaceVA == nil {
+		client.ifaceVA = map[int]uint32{}
+	}
+	client.ifaceVA[prr] = va
+	return StatusOK
+}
+
+// mgrUnmapIface revokes a client's interface mapping and performs the
+// consistency save of §IV-C: the register-group snapshot goes into the
+// former owner's data section together with the "inconsistent" state
+// flag, then the PL IRQ line is withdrawn from its vGIC.
+func (k *Kernel) mgrUnmapIface(pdID, prr int) uint32 {
+	if pdID < 0 || pdID >= len(k.PDs) || k.Fabric == nil {
+		return StatusInval
+	}
+	client := k.PDs[pdID]
+	va, ok := client.ifaceVA[prr]
+	if !ok || va == 0 {
+		return StatusInval
+	}
+	// Save the register group into the reserved structure at the head of
+	// the data section: word0 = state flag (2 = inconsistent), words 1..8
+	// the register image.
+	if client.DataSectionSize >= 64 {
+		regs := k.Fabric.SaveRegGroup(prr)
+		base := client.DataSectionPA
+		_ = k.Bus.Write32(base, DataSectFlagInconsistent)
+		for i, r := range regs {
+			_ = k.Bus.Write32(base+physmem.Addr(4+i*4), r)
+		}
+		k.kctx.Exec(20)
+		k.Clock.Advance(9 * 2) // 9 word stores through the write buffer
+	}
+	client.Table.UnmapPage(va)
+	k.chargePTEdit(client, va)
+	k.CPU.TLB.FlushVA(va, client.ASID)
+	delete(client.ifaceVA, prr)
+	// Withdraw the interrupt line.
+	if line := k.Fabric.PRRs[prr].IRQLine; line >= 0 {
+		irq := gic.PLIRQBase + line
+		client.VGIC.Unregister(irq)
+		k.plirqOwner[line] = nil
+		k.GIC.Disable(irq)
+		k.Fabric.ReleaseIRQ(prr)
+		k.Clock.Advance(CostDeviceAccess)
+	}
+	return StatusOK
+}
+
+// mgrHwMMULoad points PRR prr's DMA window at the client's data section —
+// stage (4) of Fig. 7.
+func (k *Kernel) mgrHwMMULoad(pdID, prr int) uint32 {
+	if pdID < 0 || pdID >= len(k.PDs) || k.Fabric == nil {
+		return StatusInval
+	}
+	client := k.PDs[pdID]
+	if client.DataSectionSize == 0 {
+		return StatusInval
+	}
+	k.Fabric.HwMMU.Load(prr, pl.Window{
+		Base: client.DataSectionPA, Size: client.DataSectionSize, Valid: true,
+	})
+	k.Clock.Advance(2 * CostDeviceAccess)
+	// Reset the consistency flag for the new owner.
+	_ = k.Bus.Write32(client.DataSectionPA, DataSectFlagOwned)
+	return StatusOK
+}
+
+// mgrPCAPStart launches a bitstream download — stage (5) of Fig. 7. The
+// source is an offset into the bitstream store (mapped exclusively into
+// the manager's space, §IV-B). The PCAP completion IRQ is routed to the
+// requesting client ("always connected to the VM which launches the
+// current transfer", §IV-D).
+func (k *Kernel) mgrPCAPStart(reqID, srcOff, length uint32, prr uint32) uint32 {
+	req, ok := k.hwByID[reqID]
+	if !ok || k.Fabric == nil {
+		return StatusInval
+	}
+	if k.Fabric.PCAP.Busy() {
+		return StatusBusy
+	}
+	if srcOff+length > 22<<20 {
+		return StatusInval
+	}
+	k.pcapOwner = req.PD
+	req.PD.VGIC.Register(gic.PCAPIRQ)
+	req.PD.VGIC.Enable(gic.PCAPIRQ)
+	dc := physmem.Addr(0xF800_7000)
+	_ = k.Bus.Write32(dc+pl.PCAPRegSrc, uint32(BitstreamStorePA())+srcOff)
+	_ = k.Bus.Write32(dc+pl.PCAPRegLen, length)
+	_ = k.Bus.Write32(dc+pl.PCAPRegTarget, prr)
+	_ = k.Bus.Write32(dc+pl.PCAPRegCtrl, 1)
+	k.Clock.Advance(4 * CostDeviceAccess)
+	return StatusOK
+}
+
+// mgrAllocIRQ allocates a PL interrupt line for PRR prr and registers it,
+// enabled, in the requesting client's vGIC (§IV-D).
+func (k *Kernel) mgrAllocIRQ(reqID uint32, prr int) uint32 {
+	req, ok := k.hwByID[reqID]
+	if !ok || k.Fabric == nil {
+		return StatusInval
+	}
+	if line := k.Fabric.PRRs[prr].IRQLine; line >= 0 {
+		// Line already allocated (region reuse): re-point ownership.
+		irq := gic.PLIRQBase + line
+		k.plirqOwner[line] = req.PD
+		req.PD.VGIC.Register(irq)
+		req.PD.VGIC.Enable(irq)
+		if req.PD == k.Current {
+			k.GIC.Enable(irq)
+		}
+		return uint32(irq)
+	}
+	irq, err := k.Fabric.AllocateIRQ(prr)
+	if err != nil {
+		return StatusErr
+	}
+	line := irq - gic.PLIRQBase
+	k.plirqOwner[line] = req.PD
+	req.PD.VGIC.Register(irq)
+	req.PD.VGIC.Enable(irq)
+	k.GIC.SetPriority(irq, 0x60)
+	if req.PD == k.Current {
+		k.GIC.Enable(irq)
+	}
+	k.Clock.Advance(2 * CostDeviceAccess)
+	return uint32(irq)
+}
+
+// Data-section reserved-structure flags (§IV-C).
+const (
+	// DataSectFlagOwned: the hardware task is consistently owned.
+	DataSectFlagOwned = 1
+	// DataSectFlagInconsistent: the task was reclaimed by another VM; the
+	// saved register image follows.
+	DataSectFlagInconsistent = 2
+)

@@ -1,0 +1,108 @@
+// Package nova implements the Mini-NOVA microkernel — the paper's primary
+// contribution: a lightweight paravirtualization microkernel for the ARM
+// Cortex-A9 side of a Zynq-7000, with first-class support for dispatching
+// dynamically partially reconfigured (DPR) hardware tasks to virtual
+// machines.
+//
+// The kernel runs in the simulated CPU's SVC mode and owns the exception
+// vector table; guests run de-privileged in USR mode and reach the kernel
+// through hypercalls (SWI), undefined-instruction traps and aborts,
+// exactly as §III of the paper lays out. The four microkernel properties
+// of §III — CPU virtualization (vcpu.go), memory management (memory.go),
+// communication (ipc.go, hypercall.go) and scheduling (sched.go) — plus
+// the virtual interrupt layer (vgic.go) are tied together by the Kernel
+// object (kernel.go).
+package nova
+
+import "fmt"
+
+// Hypercall numbers. The paper: "A total number of 25 hypercalls are
+// provided to paravirtualized operating systems" (§V-B). Calls 0–24 are
+// the guest-visible set; the HcMgr* portals above them are capability-
+// gated portals only the Hardware Task Manager's protection domain may
+// invoke (§III-A: PD "distributes them to different capability portals").
+const (
+	HcNull          = 0  // no-op; measures bare hypercall latency
+	HcPrint         = 1  // supervised console output
+	HcVMID          = 2  // returns the caller's VM identifier
+	HcYield         = 3  // give up the remainder of the time slice
+	HcTimerSet      = 4  // program the virtual timer (periodic, cycles)
+	HcTimerCancel   = 5  // stop the virtual timer
+	HcIRQEnable     = 6  // enable a line in the caller's vGIC
+	HcIRQDisable    = 7  // disable a line in the caller's vGIC
+	HcIRQEOI        = 8  // acknowledge completion of an injected vIRQ
+	HcCacheFlush    = 9  // clean+invalidate D-caches (guest cache op, §III-A)
+	HcTLBFlush      = 10 // flush the caller's ASID from the TLB
+	HcMapPage       = 11 // insert a mapping inside the caller's space
+	HcUnmapPage     = 12 // remove a mapping inside the caller's space
+	HcRegionCreate  = 13 // declare a hardware-task data section
+	HcDACRSwitch    = 14 // guest kernel<->guest user transition (Table II)
+	HcHwTaskRequest = 15 // request a hardware task (§IV-E, three arguments)
+	HcHwTaskRelease = 16 // release a held hardware task
+	HcHwTaskStatus  = 17 // poll task/PCAP completion state
+	HcIPCSend       = 18 // inter-VM message send
+	HcIPCRecv       = 19 // inter-VM message receive
+	HcUARTWrite     = 20 // supervised UART access (§V-A shared I/O)
+	HcUARTRead      = 21
+	HcSDRead        = 22 // supervised SD block read
+	HcSDWrite       = 23
+	HcSuspend       = 24 // remove self from the run queue (services)
+
+	// NumHypercalls is the guest-visible hypercall count (paper §V-B: 25).
+	NumHypercalls = 25
+
+	// Capability portals for the Hardware Task Manager service.
+	HcMgrNextRequest = 25 // fetch the next queued hardware-task request
+	HcMgrMapIface    = 26 // map a PRR register page into a client VM
+	HcMgrUnmapIface  = 27 // unmap it from the previous client
+	HcMgrHwMMULoad   = 28 // load a client's data-section window
+	HcMgrPCAPStart   = 29 // launch a PCAP reconfiguration
+	HcMgrComplete    = 30 // post the reply for a finished request
+	HcMgrAllocIRQ    = 31 // allocate a PL IRQ line and register it in the client's vGIC
+)
+
+// Hypercall status codes returned in R0 (§IV-E: success / reconfig / busy).
+const (
+	StatusOK       = 0
+	StatusReconfig = 1 // request accepted, PCAP transfer in flight
+	StatusBusy     = 2 // no idle PRR can host the task right now
+	StatusErr      = ^uint32(0)
+	StatusNoMsg    = 3 // IPC: nothing queued
+	StatusInval    = 4 // bad arguments
+	StatusDenied   = 5 // capability/permission failure
+)
+
+// Priority levels (paper Fig. 3: idle=0, guest OSes=1, user services such
+// as the bootloader and the Hardware Task Manager=2).
+const (
+	PrioIdle    = 0
+	PrioGuest   = 1
+	PrioService = 2
+	// NumPriorities bounds the scheduler's priority array.
+	NumPriorities = 4
+)
+
+// DefaultQuantum is the guest time slice: "Mini-NOVA provides each guest
+// OS with a time slice of 33 ms" (§V-B).
+const DefaultQuantumMs = 33
+
+// Domains used in every VM's page table (per-space numbering; the kernel
+// domain is shared/global).
+const (
+	DomainGuestUser   = 1
+	DomainGuestKernel = 2
+	DomainKernel      = 15
+)
+
+// KernelError wraps kernel-level failures with the offending PD.
+type KernelError struct {
+	PD  string
+	Op  string
+	Err error
+}
+
+func (e *KernelError) Error() string {
+	return fmt.Sprintf("nova: pd %s: %s: %v", e.PD, e.Op, e.Err)
+}
+
+func (e *KernelError) Unwrap() error { return e.Err }

@@ -1,0 +1,667 @@
+package nova
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/gic"
+	"repro/internal/measure"
+	"repro/internal/mmu"
+	"repro/internal/physmem"
+	"repro/internal/pl"
+	"repro/internal/simclock"
+	"repro/internal/timer"
+)
+
+// CostDeviceAccess is the cycle cost of one strongly-ordered device
+// register access (GIC, devcfg, PRR controller) — uncached, so constant.
+const CostDeviceAccess = 20
+
+// yieldReason says why a PD handed the CPU back to the kernel loop.
+type yieldReason int
+
+const (
+	yieldPreempt yieldReason = iota // quantum expiry or higher-prio wakeup
+	yieldBlocked                    // blocked in a hypercall
+	yieldExited                     // guest Main returned
+)
+
+type resumeCmd struct{ kill bool }
+
+// killSentinel unwinds a guest goroutine during Kernel.Shutdown. The
+// IsKillSentinel marker lets nested coroutine layers (e.g. a ucos task
+// goroutine blocked inside a hypercall) recognize and absorb the unwind
+// without importing this package.
+type killSentinelType struct{}
+
+// IsKillSentinel marks the value as a cooperative-shutdown panic.
+func (killSentinelType) IsKillSentinel() {}
+
+var killSentinel = killSentinelType{}
+
+// Kernel is the Mini-NOVA microkernel instance: the abstraction layer
+// between the simulated Zynq PS/PL hardware and the protection domains it
+// hosts (paper Fig. 1).
+type Kernel struct {
+	Clock     *simclock.Clock
+	Bus       *physmem.Bus
+	CPU       *cpu.CPU
+	GIC       *gic.GIC
+	PrivTimer *timer.PrivateTimer
+	Fabric    *pl.Fabric // nil until AttachFabric
+	Alloc     *mmu.FrameAllocator
+	Sched     *Scheduler
+	Probes    *measure.Set
+
+	PDs     []*PD
+	Current *PD
+
+	kernelPT *mmu.PageTable
+	kctx     *cpu.ExecContext
+
+	needResched    bool
+	quantumExpired bool
+	running        bool
+
+	yieldCh chan yieldReason
+	// dying is closed by Shutdown; every coroutine handoff selects on it
+	// so parked guest (and nested guest-task) goroutines unwind promptly.
+	dying    chan struct{}
+	shutdown bool
+
+	// Hardware-task request plumbing (§IV-E).
+	hwQueue   []*HwRequest
+	hwByID    map[uint32]*HwRequest
+	nextReqID uint32
+	hwSvc     *PD
+
+	// PL interrupt routing (§IV-D).
+	plirqOwner [gic.NumPLIRQs]*PD
+	pcapOwner  *PD
+
+	// Measurement stamps for the Table III phases.
+	mgrEntryFrom  simclock.Cycles
+	mgrEntryArmed bool
+	mgrExitFrom   simclock.Cycles
+	mgrExitArmed  bool
+	mgrExecFrom   simclock.Cycles
+	mgrExecArmed  bool
+
+	// Console accumulates supervised UART output.
+	Console strings.Builder
+
+	// sd is the simulated SD card (block number -> 512-byte block).
+	sd map[uint32][]byte
+
+	// vfpOwnerPD is the PD whose VFP context is live in hardware (lazy
+	// switch state, Table I).
+	vfpOwnerPD *PD
+
+	// EagerVFP disables the lazy-switch policy of Table I: the full VFP
+	// context is saved and restored on every world switch (ablation).
+	EagerVFP bool
+
+	// FlushTLBOnSwitch disables ASID tagging: the whole TLB is flushed on
+	// every world switch, as a kernel without CONTEXTIDR management would
+	// have to (ablation for the §III-C design choice).
+	FlushTLBOnSwitch bool
+
+	asidNext uint8
+}
+
+// NewKernel boots a Mini-NOVA kernel on a fresh machine: clock, bus, GIC,
+// CPU, private timer, kernel page table, and the exception vector table.
+func NewKernel() *Kernel {
+	clock := simclock.New()
+	bus := physmem.NewBus()
+	g := gic.New()
+	c := cpu.New(clock, bus, g)
+	k := &Kernel{
+		Clock:     clock,
+		Bus:       bus,
+		CPU:       c,
+		GIC:       g,
+		PrivTimer: timer.New(clock, g),
+		Alloc:     mmu.NewFrameAllocator(physTables, 8<<20),
+		Sched:     NewScheduler(simclock.FromMillis(DefaultQuantumMs)),
+		Probes:    measure.NewSet(),
+		hwByID:    make(map[uint32]*HwRequest),
+		yieldCh:   make(chan yieldReason),
+		dying:     make(chan struct{}),
+		sd:        make(map[uint32][]byte),
+		asidNext:  1,
+	}
+	// Kernel address space: global mappings only; ASID 0.
+	k.kernelPT = mmu.NewPageTable(bus, k.Alloc)
+	mapKernelInto(k.kernelPT)
+	c.Mode = cpu.ModeSVC
+	c.CP15Write(cpu.CP15TTBR0, uint32(k.kernelPT.Base))
+	c.CP15Write(cpu.CP15CONTEXTIDR, 0)
+	c.CP15Write(cpu.CP15DACR, dacrFor(true))
+	c.CP15Write(cpu.CP15SCTLR, 1)
+
+	k.kctx = cpu.NewExecContext(c, "mininova", KernelCodeVA, KernelCodeSize)
+
+	// Vector table.
+	c.Vectors.SWI = k.onSWI
+	c.Vectors.IRQ = k.onIRQ
+	c.Vectors.Undef = k.onUndef
+	c.Vectors.DataAbort = k.onAbort
+	c.Vectors.PrefetchAbort = k.onAbort
+
+	// Kernel-owned interrupts.
+	g.Enable(gic.PrivateTimerIRQ)
+	g.SetPriority(gic.PrivateTimerIRQ, 0x10)
+	g.Enable(gic.PCAPIRQ)
+	g.SetPriority(gic.PCAPIRQ, 0x30)
+	return k
+}
+
+// AttachFabric connects the programmable-logic model (built by the caller
+// so its PRR capacities are scenario-specific).
+func (k *Kernel) AttachFabric(f *pl.Fabric) { k.Fabric = f }
+
+// PDConfig parameterizes CreatePD.
+type PDConfig struct {
+	Name     string
+	Priority int
+	Caps     Capability
+	Guest    Guest
+	// CodeBase/CodeSize locate the guest's text inside its address space
+	// (defaults: GuestKernelBase, 64 KB).
+	CodeBase uint32
+	CodeSize uint32
+	// StartSuspended creates the PD in the suspend queue (user services,
+	// paper §III-D: "some user service applications of Mini-NOVA are in
+	// the suspend queue because they are only invoked when necessary").
+	StartSuspended bool
+}
+
+// CreatePD builds a protection domain: address space, vCPU, vGIC, and the
+// guest's execution context, then places it in the run or suspend queue.
+func (k *Kernel) CreatePD(cfg PDConfig) *PD {
+	if cfg.CodeBase == 0 {
+		cfg.CodeBase = GuestKernelBase
+	}
+	if cfg.CodeSize == 0 {
+		cfg.CodeSize = 64 << 10
+	}
+	id := len(k.PDs)
+	space := k.buildGuestSpace(id)
+	pd := &PD{
+		ID:       id,
+		Name_:    cfg.Name,
+		Priority: cfg.Priority,
+		Caps:     cfg.Caps,
+		VGIC:     NewVGIC(),
+		Table:    space.Table,
+		ASID:     k.asidNext,
+		RAMBase:  space.RAMBase,
+		RAMSize:  space.RAMSize,
+		Guest:    cfg.Guest,
+		kdata:    KernelDataVA + uint32(id)*0x400,
+	}
+	k.asidNext++
+	pd.VCPU.TTBR = uint32(pd.Table.Base)
+	pd.VCPU.ASID = pd.ASID
+	pd.VCPU.DACR = dacrFor(true) // guests boot in guest-kernel context
+	pd.VCPU.QuantumLeft = k.Sched.Quantum()
+
+	ctx := cpu.NewExecContext(k.CPU, cfg.Name, cfg.CodeBase, cfg.CodeSize)
+	pd.Env = &Env{K: k, PD: pd, Ctx: ctx}
+
+	pd.resumeCh = make(chan resumeCmd)
+	pd.doneCh = make(chan struct{})
+	go k.guestWrapper(pd)
+
+	k.PDs = append(k.PDs, pd)
+	if !cfg.StartSuspended {
+		k.Sched.Enqueue(pd)
+	}
+	return pd
+}
+
+// RegisterHwService names the PD running the Hardware Task Manager; the
+// HcHwTaskRequest path wakes it (§IV-E).
+func (k *Kernel) RegisterHwService(pd *PD) {
+	if pd.Caps&CapHwManager == 0 {
+		panic("nova: hardware service PD lacks CapHwManager")
+	}
+	k.hwSvc = pd
+}
+
+func (k *Kernel) guestWrapper(pd *PD) {
+	defer close(pd.doneCh)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(interface{ IsKillSentinel() }); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	select {
+	case cmd := <-pd.resumeCh:
+		if cmd.kill {
+			return
+		}
+	case <-k.dying:
+		return
+	}
+	pd.Guest.RunSlice(pd.Env)
+	// Guest finished: retire the PD.
+	pd.dead = true
+	k.Sched.Dequeue(pd)
+	for {
+		select {
+		case k.yieldCh <- yieldExited:
+		case <-k.dying:
+			return
+		}
+		select {
+		case cmd := <-pd.resumeCh:
+			if cmd.kill {
+				return
+			}
+		case <-k.dying:
+			return
+		}
+	}
+}
+
+// Dying exposes the shutdown signal so nested coroutine layers inside
+// guests (e.g. ucos task goroutines) can unwind with the kernel.
+func (k *Kernel) Dying() <-chan struct{} { return k.dying }
+
+// yield hands the CPU from the active PD's goroutine back to the kernel
+// loop, preserving the architectural mode across the switch-out.
+func (e *Env) yield(r yieldReason) {
+	k := e.K
+	savedMode, savedMask := k.CPU.Mode, k.CPU.IRQMasked
+	select {
+	case k.yieldCh <- r:
+	case <-k.dying:
+		panic(killSentinel)
+	}
+	select {
+	case cmd := <-e.PD.resumeCh:
+		if cmd.kill {
+			panic(killSentinel)
+		}
+	case <-k.dying:
+		panic(killSentinel)
+	}
+	k.CPU.Mode, k.CPU.IRQMasked = savedMode, savedMask
+}
+
+// CheckPreempt is the guest's chunk-boundary poll: deliver pending vIRQs,
+// then give up the CPU if the kernel asked for it.
+func (e *Env) CheckPreempt() {
+	e.PendingVIRQ()
+	if e.K.needResched {
+		e.yield(yieldPreempt)
+		e.PendingVIRQ()
+	}
+}
+
+// Block suspends the calling PD until another event re-enqueues it. Used
+// by kernel handlers running in the caller's goroutine.
+func (e *Env) block() {
+	e.K.Sched.Dequeue(e.PD)
+	e.K.needResched = true
+	e.yield(yieldBlocked)
+}
+
+// activate hands the CPU to pd and waits for it to yield.
+func (k *Kernel) activate(pd *PD) yieldReason {
+	pd.resumeCh <- resumeCmd{}
+	r := <-k.yieldCh
+	// Kernel loop regains the CPU in SVC, IRQs masked.
+	k.CPU.Mode, k.CPU.IRQMasked = cpu.ModeSVC, true
+	return r
+}
+
+// Run executes the system until the given absolute simulated time.
+func (k *Kernel) Run(until simclock.Cycles) {
+	k.running = true
+	defer func() { k.running = false }()
+	for k.Clock.Now() < until {
+		pd := k.Sched.Pick()
+		if pd == nil {
+			k.idleUntil(until)
+			continue
+		}
+		if pd.dead {
+			k.Sched.Dequeue(pd)
+			continue
+		}
+		k.worldSwitch(pd)
+		k.needResched = false
+		k.quantumExpired = false
+		if pd.VCPU.QuantumLeft == 0 {
+			pd.VCPU.QuantumLeft = k.Sched.Quantum()
+		}
+		k.PrivTimer.Start(pd.VCPU.QuantumLeft, true)
+		// Bound the activation by the caller's horizon so Run(until)
+		// returns on time even mid-quantum.
+		stop := k.Clock.At(until, func(simclock.Cycles) { k.needResched = true })
+
+		start := k.Clock.Now()
+		k.CPU.Mode, k.CPU.IRQMasked = cpu.ModeUSR, false
+		k.activate(pd)
+		elapsed := k.Clock.Now() - start
+		k.PrivTimer.Stop()
+		k.Clock.Cancel(stop)
+
+		if k.quantumExpired || elapsed >= pd.VCPU.QuantumLeft {
+			// Slice fully consumed: fresh quantum next time, go to the back
+			// of the priority circle (round-robin, §III-D).
+			pd.VCPU.QuantumLeft = 0
+			if k.Sched.InRunQueue(pd) {
+				k.Sched.Rotate(pd.Priority)
+			}
+		} else {
+			// Preempted early: carry the remaining quantum (§III-D).
+			pd.VCPU.QuantumLeft -= elapsed
+		}
+	}
+}
+
+// RunFor advances the system by d cycles.
+func (k *Kernel) RunFor(d simclock.Cycles) { k.Run(k.Clock.Now() + d) }
+
+// idleUntil advances to the next event (or until) with interrupts open —
+// the kernel's WFI loop.
+func (k *Kernel) idleUntil(until simclock.Cycles) {
+	target := until
+	if d, ok := k.Clock.NextDeadline(); ok && d < target {
+		target = d
+	}
+	k.Clock.AdvanceTo(target)
+	k.CPU.IRQMasked = false
+	k.CPU.PollIRQ()
+	k.CPU.IRQMasked = true
+}
+
+// Shutdown terminates every guest goroutine (including goroutines nested
+// inside guests that observe Dying). The kernel is unusable afterwards;
+// tests and benchmarks call it to avoid leaking goroutines.
+func (k *Kernel) Shutdown() {
+	if k.shutdown {
+		return
+	}
+	k.shutdown = true
+	close(k.dying)
+	for _, pd := range k.PDs {
+		<-pd.doneCh
+	}
+}
+
+// touchPDState charges the kernel-data traffic of saving or restoring one
+// PD's descriptor + vCPU (vcpuActiveWords words). Distinct PDs occupy
+// distinct kernel-data lines, so more VMs means a larger switch-path
+// working set — one of Table III's two growth mechanisms.
+func (k *Kernel) touchPDState(pd *PD, write bool) {
+	for i := uint32(0); i < vcpuActiveWords; i++ {
+		k.kctx.Touch(pd.kdata+i*4, write)
+	}
+}
+
+// physicalLine reports whether irq is a per-VM maskable hardware line
+// (the PL-to-PS interrupts). Virtual lines (the guest timer PPI) and
+// kernel-owned lines (PCAP) are never touched on switches.
+func physicalLine(irq int) bool {
+	return irq >= gic.PLIRQBase && irq < gic.PLIRQBase+gic.NumPLIRQs
+}
+
+// armVirtualTimer schedules the current PD's next virtual tick from its
+// preserved remaining time.
+func (k *Kernel) armVirtualTimer(pd *PD) {
+	if pd.VCPU.TimerPeriod == 0 || pd.timerEvent != nil {
+		return
+	}
+	d := pd.timerRemaining
+	if d == 0 {
+		d = pd.VCPU.TimerPeriod
+	}
+	pd.timerEvent = k.Clock.After(d, func(simclock.Cycles) {
+		pd.timerEvent = nil
+		pd.timerRemaining = 0
+		if pd.dead || pd.VCPU.TimerPeriod == 0 {
+			return
+		}
+		pd.VGIC.Inject(gic.PrivateTimerIRQ)
+		k.wakeIfIdle(pd)
+		if k.Current == pd || pd.idleWaiting {
+			k.armVirtualTimer(pd)
+		}
+	})
+}
+
+// parkVirtualTimer suspends the PD's virtual tick, preserving the time
+// remaining until the next expiry.
+func (k *Kernel) parkVirtualTimer(pd *PD) {
+	if pd.timerEvent == nil {
+		return
+	}
+	if pd.timerEvent.When > k.Clock.Now() {
+		pd.timerRemaining = pd.timerEvent.When - k.Clock.Now()
+	} else {
+		pd.timerRemaining = 0
+	}
+	k.Clock.Cancel(pd.timerEvent)
+	pd.timerEvent = nil
+}
+
+// worldSwitch performs the full VM switch of §III-A/B/C: save the
+// outgoing vCPU, read back and mask its interrupt set, restore the
+// incoming vCPU (TTBR/ASID/DACR via CP15 — the address-space switch),
+// unmask its enabled interrupts, and arm lazy VFP.
+func (k *Kernel) worldSwitch(next *PD) {
+	if k.Current == next {
+		return
+	}
+	t0 := k.Clock.Now()
+	k.kctx.Exec(48) // scheduler pick + switch trampoline
+
+	prev := k.Current
+	if prev != nil {
+		prev.VCPU.SaveActive(k.CPU)
+		if !prev.idleWaiting {
+			// An idle-waiting VM keeps its virtual timer live so its next
+			// tick can wake it (guest WFI semantics).
+			k.parkVirtualTimer(prev)
+		}
+		k.touchPDState(prev, true)
+		// Mask the outgoing VM's hardware lines. The 16 PL_IRQs share one
+		// distributor enable word, so the whole set costs a single
+		// GICD_ICENABLER write regardless of how many lines the VM holds.
+		masked := false
+		for _, irq := range prev.VGIC.AllLines() {
+			if physicalLine(irq) {
+				k.GIC.Disable(irq)
+				masked = true
+			}
+		}
+		if masked {
+			k.kctx.Exec(8)
+			k.Clock.Advance(CostDeviceAccess)
+		}
+	}
+
+	k.touchPDState(next, false)
+	next.VCPU.RestoreActive(k.CPU) // CP15 writes: TTBR, ASID, DACR
+	unmasked := false
+	for _, irq := range next.VGIC.EnabledLines() {
+		if physicalLine(irq) {
+			k.GIC.Enable(irq)
+			unmasked = true
+		}
+	}
+	if unmasked {
+		k.kctx.Exec(8)
+		k.Clock.Advance(CostDeviceAccess)
+	}
+	if k.EagerVFP {
+		// Ablation: unconditional VFP save + restore on every switch.
+		k.Clock.Advance(2 * cpu.VFPContextCost())
+		k.CPU.VFPEnabled = true
+	} else {
+		// Lazy switch (Table I): VFP stays with its owner until touched.
+		k.CPU.VFPEnabled = false
+	}
+	if k.FlushTLBOnSwitch {
+		k.CPU.CP15Write(cpu.CP15TLBIALL, 0)
+	}
+	k.kctx.Exec(24) // exception return path
+
+	k.Current = next
+	k.armVirtualTimer(next)
+	next.Switches++
+	now := k.Clock.Now()
+	k.Probes.Add(measure.PhaseVMSwitch, now-t0)
+	if k.mgrExitArmed && next != k.hwSvc {
+		k.Probes.Add(measure.PhaseMgrExit, now-k.mgrExitFrom)
+		k.mgrExitArmed = false
+	}
+}
+
+// onUndef handles undefined-instruction traps: privileged-op emulation and
+// the lazy VFP switch of Table I.
+func (k *Kernel) onUndef(u cpu.UndefInfo) bool {
+	k.kctx.Exec(20)
+	switch u.Kind {
+	case cpu.UndefVFP:
+		return k.lazyVFPSwitch()
+	case cpu.UndefCP15:
+		// A guest touched a privileged system register directly. Mini-NOVA
+		// emulates harmless reads and rejects writes (guests must use
+		// hypercalls, §III-A).
+		k.kctx.Exec(30)
+		return !u.Wr
+	default:
+		return false
+	}
+}
+
+func (k *Kernel) lazyVFPSwitch() bool {
+	cur := k.Current
+	if cur == nil {
+		k.CPU.VFPEnabled = true
+		return true
+	}
+	// Save the previous owner's context, restore the current PD's.
+	if k.vfpOwnerPD != nil && k.vfpOwnerPD != cur {
+		k.Clock.Advance(cpu.VFPContextCost())
+		k.vfpOwnerPD.VCPU.VFPValid = true
+	}
+	if cur.VCPU.VFPValid {
+		k.Clock.Advance(cpu.VFPContextCost())
+	}
+	k.vfpOwnerPD = cur
+	k.CPU.VFPEnabled = true
+	k.kctx.Exec(25)
+	return true
+}
+
+// onAbort handles MMU faults. Faults inside a guest's own space are the
+// guest's business (delivered as a vIRQ-like upcall is out of scope —
+// Mini-NOVA kills the offender per "a permission-denied error will
+// occur"); the kernel only logs and refuses.
+func (k *Kernel) onAbort(f *mmu.Fault) bool {
+	k.kctx.Exec(40)
+	if k.Current != nil {
+		k.Current.Faults++
+	}
+	return false
+}
+
+// onIRQ is the physical interrupt path of §III-B/§IV-D: acknowledge at
+// the GIC, EOI, then route — quantum timer to the scheduler, PCAP to the
+// launching VM, PL lines to their owning VM's vGIC.
+func (k *Kernel) onIRQ() {
+	t0 := k.Clock.Now() - cpu.CostExceptionEntry
+	k.kctx.Exec(26) // vector + IRQ-mode entry + GIC interface read
+	k.Clock.Advance(2 * CostDeviceAccess)
+	id := k.GIC.Acknowledge()
+	if id == gic.SpuriousID {
+		return
+	}
+	k.GIC.EOI(id)
+	switch {
+	case id == gic.PrivateTimerIRQ:
+		k.kctx.Exec(14)
+		k.quantumExpired = true
+		k.needResched = true
+	case id == gic.PCAPIRQ:
+		k.kctx.Exec(18)
+		if k.pcapOwner != nil {
+			if k.pcapOwner.VGIC.Inject(id) {
+				k.wakeIfIdle(k.pcapOwner)
+				k.maybePreemptFor(k.pcapOwner)
+			}
+		}
+	case physicalLine(id):
+		k.kctx.Exec(22)
+		k.kctx.Touch(KernelDataVA+0x8000+uint32(id)*8, false) // routing table
+		if pd := k.plirqOwner[id-gic.PLIRQBase]; pd != nil {
+			// Distribution walks the owner VM's vGIC record list (Fig. 2)
+			// and updates the virtual IRQ state — per-VM kernel data that
+			// gets colder as more VMs rotate through the caches.
+			for i := uint32(0); i < 8; i++ {
+				k.kctx.Touch(pd.kdata+0x100+i*8, i >= 6)
+			}
+			k.kctx.Exec(14)
+			if pd.VGIC.Inject(id) {
+				k.wakeIfIdle(pd)
+				k.Probes.Add(measure.PhasePLIRQEntry, k.Clock.Now()-t0)
+			}
+		}
+	default:
+		k.kctx.Exec(10)
+	}
+}
+
+// wakeIfIdle re-enqueues a PD parked in paravirtualized idle when an
+// injection arrives for it.
+func (k *Kernel) wakeIfIdle(pd *PD) {
+	if pd.idleWaiting {
+		k.wake(pd)
+	}
+}
+
+// maybePreemptFor requests a reschedule when pd outranks the running PD.
+func (k *Kernel) maybePreemptFor(pd *PD) {
+	if k.Current == nil || pd.Priority > k.Current.Priority {
+		k.needResched = true
+	}
+}
+
+// wake moves a PD into the run queue and preempts if it outranks the
+// current one.
+func (k *Kernel) wake(pd *PD) {
+	if pd.dead {
+		return
+	}
+	k.Sched.Enqueue(pd)
+	k.maybePreemptFor(pd)
+}
+
+// ConsoleString returns everything guests printed so far.
+func (k *Kernel) ConsoleString() string { return k.Console.String() }
+
+// SDWriteImage preloads the simulated SD card (tests, examples).
+func (k *Kernel) SDWriteImage(block uint32, data []byte) {
+	for len(data) > 0 {
+		b := make([]byte, 512)
+		n := copy(b, data)
+		k.sd[block] = b
+		data = data[n:]
+		block++
+	}
+}
+
+func (k *Kernel) String() string {
+	return fmt.Sprintf("mininova: %d PDs, %s", len(k.PDs), k.Clock.Now())
+}

@@ -1,0 +1,154 @@
+package nova
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/mmu"
+	"repro/internal/physmem"
+	"repro/internal/simclock"
+)
+
+// Guest is the software hosted inside a protection domain: a
+// paravirtualized OS, a user service (the Hardware Task Manager), or a
+// bare application. Main runs once, in the PD's own goroutine; control is
+// handed back and forth with the kernel loop through strict channel
+// handoff, so exactly one logical thread of execution exists — the model
+// of a single Cortex-A9 core. All of the guest's instruction and memory
+// traffic must go through env.Ctx so it is charged to the shared machine,
+// and the guest must call env.CheckPreempt() at chunk boundaries.
+type Guest interface {
+	// Name labels the guest in traces.
+	Name() string
+	// RunSlice is the guest's entry point; it runs for the lifetime of
+	// the VM (it is resumed transparently across preemptions).
+	RunSlice(env *Env)
+}
+
+// Capability bits held by a PD — the capability interface of §III-A.
+type Capability uint32
+
+// Capabilities.
+const (
+	// CapHwManager unlocks the HcMgr* portals (only the Hardware Task
+	// Manager service's PD carries it).
+	CapHwManager Capability = 1 << iota
+	// CapIODirect allows supervised SD hypercalls.
+	CapIODirect
+)
+
+type ipcMsg struct {
+	sender int
+	word   uint32
+}
+
+// PD is a protection domain: "a resource container and a capability
+// interface between a virtual machine and the microkernel. It holds the
+// state of a virtual machine (the ID number, the priority level, etc)"
+// (paper §III-A).
+type PD struct {
+	ID       int
+	Name_    string
+	Priority int
+	Caps     Capability
+
+	VCPU VCPU
+	VGIC *VGIC
+
+	// Address space.
+	Table *mmu.PageTable
+	ASID  uint8
+
+	// RAM is the VM's physical allocation [RAMBase, RAMBase+RAMSize).
+	RAMBase physmem.Addr
+	RAMSize uint32
+
+	// DataSection is the registered hardware-task data section (§IV-B):
+	// guest VA, physical translation and size.
+	DataSectionVA   uint32
+	DataSectionPA   physmem.Addr
+	DataSectionSize uint32
+
+	// ifaceVA remembers where each PRR's register page is mapped in this
+	// space (0 = not mapped), so the kernel can demap on reclaim.
+	ifaceVA map[int]uint32
+
+	// Guest program + its execution environment.
+	Guest Guest
+	Env   *Env
+
+	// kdata is the VA of this PD's kernel-resident descriptor; the world
+	// switch touches it so per-PD kernel state competes for cache space.
+	kdata uint32
+
+	// Virtual timer state: the timer advances only while the VM runs
+	// (vCPU active state, Table I row "Platform-specific timer"): parked
+	// on switch-out with the remaining time preserved, re-armed on
+	// switch-in.
+	timerEvent     *simclock.Event
+	timerRemaining simclock.Cycles
+
+	// IPC mailbox (bounded).
+	mbox        []ipcMsg
+	recvBlocked bool
+
+	// idleWaiting marks a PD blocked in paravirtualized idle (HcSuspend
+	// mode 1): any vIRQ injection wakes it, and its virtual timer keeps
+	// running while it sleeps.
+	idleWaiting bool
+
+	// Coroutine plumbing.
+	resumeCh chan resumeCmd
+	doneCh   chan struct{}
+	dead     bool
+
+	// Scheduler links (intrusive priority ring).
+	next, prev *PD
+	inRunQueue bool
+
+	// Statistics.
+	Switches   uint64
+	Hypercalls uint64
+	Faults     uint64
+}
+
+// Name returns the PD's human-readable name.
+func (pd *PD) Name() string { return pd.Name_ }
+
+// Dead reports whether the guest's Main has returned.
+func (pd *PD) Dead() bool { return pd.dead }
+
+// Env is the per-PD view of the machine handed to guest code: its
+// ExecContext plus the entry points a de-privileged guest may use.
+type Env struct {
+	K   *Kernel
+	PD  *PD
+	Ctx *cpu.ExecContext
+}
+
+// Hypercall issues SWI n with up to four arguments, as the paravirtualized
+// port layer does for every sensitive operation (§III-A).
+func (e *Env) Hypercall(n int, args ...uint32) uint32 {
+	var a [4]uint32
+	copy(a[:], args)
+	return e.K.CPU.SWI(n, a)
+}
+
+// Preempted reports whether the kernel wants the CPU back (quantum expiry
+// or a higher-priority PD became ready). Guests poll it between chunks.
+func (e *Env) Preempted() bool { return e.K.needResched }
+
+// PendingVIRQ drains and dispatches injected virtual interrupts through
+// the VM's registered IRQ entry — the model's equivalent of taking the
+// injected jump on return to guest context (§III-B).
+func (e *Env) PendingVIRQ() {
+	v := e.PD.VGIC
+	if !v.HasPending() || v.Entry == nil {
+		return
+	}
+	for _, irq := range v.DrainPending() {
+		e.Ctx.Exec(12) // guest-side vector dispatch
+		v.Entry(irq)
+	}
+}
+
+// Now returns the simulated time (guests may read the global counter).
+func (e *Env) Now() simclock.Cycles { return e.K.Clock.Now() }

@@ -1,0 +1,96 @@
+package nova
+
+import "repro/internal/simclock"
+
+// Scheduler is Mini-NOVA's preemptive priority-based round-robin scheduler
+// (paper §III-D, Fig. 3). PDs live in one of two groups: the run queue —
+// ready to execute, organized as one double-linked circle per priority
+// level — and the suspend queue, holding PDs "that are not necessarily
+// schedulable to avoid wasting the CPU resource" (user services such as
+// the Hardware Task Manager wait there until invoked).
+type Scheduler struct {
+	rings   [NumPriorities]*PD // head of each priority circle (nil = empty)
+	quantum simclock.Cycles
+}
+
+// NewScheduler builds a scheduler with the given default time quantum.
+func NewScheduler(quantum simclock.Cycles) *Scheduler {
+	return &Scheduler{quantum: quantum}
+}
+
+// Quantum returns the configured time slice.
+func (s *Scheduler) Quantum() simclock.Cycles { return s.quantum }
+
+// Enqueue inserts a PD into its priority circle (run queue), at the tail —
+// i.e. just before the current head, preserving round-robin order.
+func (s *Scheduler) Enqueue(pd *PD) {
+	if pd.inRunQueue {
+		return
+	}
+	pd.inRunQueue = true
+	head := s.rings[pd.Priority]
+	if head == nil {
+		pd.next, pd.prev = pd, pd
+		s.rings[pd.Priority] = pd
+		return
+	}
+	tail := head.prev
+	tail.next, pd.prev = pd, tail
+	pd.next, head.prev = head, pd
+}
+
+// Dequeue removes a PD from the run queue (moving it to the conceptual
+// suspend queue; suspended PDs are simply not linked anywhere).
+func (s *Scheduler) Dequeue(pd *PD) {
+	if !pd.inRunQueue {
+		return
+	}
+	pd.inRunQueue = false
+	if pd.next == pd {
+		s.rings[pd.Priority] = nil
+	} else {
+		pd.prev.next = pd.next
+		pd.next.prev = pd.prev
+		if s.rings[pd.Priority] == pd {
+			s.rings[pd.Priority] = pd.next
+		}
+	}
+	pd.next, pd.prev = nil, nil
+}
+
+// Pick returns the PD to run now: the head of the highest non-empty
+// priority circle ("the scheduler selects the highest-priority PD in the
+// run queue and dispatches the vCPU attached to it").
+func (s *Scheduler) Pick() *PD {
+	for p := NumPriorities - 1; p >= 0; p-- {
+		if s.rings[p] != nil {
+			return s.rings[p]
+		}
+	}
+	return nil
+}
+
+// Rotate advances a priority circle after its head exhausted a quantum,
+// giving the next PD of the same level its turn.
+func (s *Scheduler) Rotate(prio int) {
+	if s.rings[prio] != nil {
+		s.rings[prio] = s.rings[prio].next
+	}
+}
+
+// RingLen counts the PDs at one priority level.
+func (s *Scheduler) RingLen(prio int) int {
+	head := s.rings[prio]
+	if head == nil {
+		return 0
+	}
+	n, p := 1, head.next
+	for p != head {
+		n++
+		p = p.next
+	}
+	return n
+}
+
+// InRunQueue reports whether pd is currently schedulable.
+func (s *Scheduler) InRunQueue(pd *PD) bool { return pd.inRunQueue }

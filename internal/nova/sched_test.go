@@ -1,0 +1,115 @@
+package nova
+
+import "testing"
+
+func mkPD(id, prio int) *PD {
+	return &PD{ID: id, Name_: "pd", Priority: prio}
+}
+
+func TestPickHighestPriority(t *testing.T) {
+	s := NewScheduler(1000)
+	low := mkPD(0, PrioGuest)
+	high := mkPD(1, PrioService)
+	s.Enqueue(low)
+	s.Enqueue(high)
+	if got := s.Pick(); got != high {
+		t.Errorf("Pick = %s(%d), want the service-priority PD", got.Name_, got.Priority)
+	}
+	s.Dequeue(high)
+	if got := s.Pick(); got != low {
+		t.Error("Pick did not fall back to lower priority")
+	}
+}
+
+func TestRoundRobinRotation(t *testing.T) {
+	s := NewScheduler(1000)
+	var pds []*PD
+	for i := 0; i < 3; i++ {
+		pd := mkPD(i, PrioGuest)
+		pds = append(pds, pd)
+		s.Enqueue(pd)
+	}
+	// Rotation must cycle 0 -> 1 -> 2 -> 0.
+	for round := 0; round < 6; round++ {
+		want := pds[round%3]
+		if got := s.Pick(); got != want {
+			t.Fatalf("round %d: Pick = pd%d, want pd%d", round, got.ID, want.ID)
+		}
+		s.Rotate(PrioGuest)
+	}
+}
+
+func TestDequeueMidRing(t *testing.T) {
+	s := NewScheduler(1000)
+	var pds []*PD
+	for i := 0; i < 4; i++ {
+		pd := mkPD(i, PrioGuest)
+		pds = append(pds, pd)
+		s.Enqueue(pd)
+	}
+	s.Dequeue(pds[1])
+	s.Dequeue(pds[3])
+	if n := s.RingLen(PrioGuest); n != 2 {
+		t.Fatalf("ring len = %d, want 2", n)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		seen[s.Pick().ID] = true
+		s.Rotate(PrioGuest)
+	}
+	if !seen[0] || !seen[2] {
+		t.Errorf("remaining ring = %v, want {0,2}", seen)
+	}
+}
+
+func TestDequeueHeadAdjusts(t *testing.T) {
+	s := NewScheduler(1000)
+	a, b := mkPD(0, PrioGuest), mkPD(1, PrioGuest)
+	s.Enqueue(a)
+	s.Enqueue(b)
+	s.Dequeue(a) // removing the head must promote b
+	if got := s.Pick(); got != b {
+		t.Error("head removal did not promote the next PD")
+	}
+	s.Dequeue(b)
+	if s.Pick() != nil {
+		t.Error("empty scheduler still picks")
+	}
+}
+
+func TestDoubleEnqueueIdempotent(t *testing.T) {
+	s := NewScheduler(1000)
+	a := mkPD(0, PrioGuest)
+	s.Enqueue(a)
+	s.Enqueue(a)
+	if n := s.RingLen(PrioGuest); n != 1 {
+		t.Errorf("double enqueue produced ring of %d", n)
+	}
+	s.Dequeue(a)
+	s.Dequeue(a) // and double dequeue is harmless
+	if s.Pick() != nil {
+		t.Error("PD still schedulable after dequeue")
+	}
+}
+
+func TestEnqueuePreservesRRWindow(t *testing.T) {
+	// A re-enqueued PD goes to the tail: the current head keeps its turn.
+	s := NewScheduler(1000)
+	a, b, c := mkPD(0, PrioGuest), mkPD(1, PrioGuest), mkPD(2, PrioGuest)
+	s.Enqueue(a)
+	s.Enqueue(b)
+	s.Dequeue(a)
+	s.Enqueue(c)
+	s.Enqueue(a) // back at the tail, after c
+	order := []int{}
+	for i := 0; i < 3; i++ {
+		order = append(order, s.Pick().ID)
+		s.Rotate(PrioGuest)
+	}
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package nova
+
+import "repro/internal/gic"
+
+// VGIC is one virtual machine's virtual interrupt controller (paper
+// §III-B, Fig. 2): a record list of the interrupt lines the VM uses, each
+// entry tracking the virtual state of that line, plus the VM's registered
+// IRQ entry. The physical GIC stays under exclusive kernel control; on
+// every VM switch the kernel masks the outgoing VM's lines and unmasks the
+// incoming VM's enabled lines (§III-B).
+type VGIC struct {
+	// entries is indexed by physical interrupt ID.
+	entries map[int]*virq
+
+	// Entry is the VM's IRQ handler entry point, registered by the guest.
+	// The kernel "injects" a virtual IRQ by scheduling this callback to
+	// run in guest context (the guest's RunSlice drains pending vIRQs).
+	Entry func(irq int)
+
+	// pending vIRQs injected while the VM was not running (Fig. 6: "the
+	// IRQ state remains the same until the next time the VM is scheduled").
+	pending []int
+
+	// Injected counts total injections (for the experiment probes).
+	Injected uint64
+}
+
+type virq struct {
+	enabled   bool
+	inService bool // injected, not yet EOI'd by the guest
+}
+
+// NewVGIC returns an empty vGIC.
+func NewVGIC() *VGIC {
+	return &VGIC{entries: make(map[int]*virq)}
+}
+
+// Register adds an interrupt line to the VM's record list (disabled).
+func (v *VGIC) Register(irq int) {
+	if _, ok := v.entries[irq]; !ok {
+		v.entries[irq] = &virq{}
+	}
+}
+
+// Unregister removes a line (task released, VM torn down).
+func (v *VGIC) Unregister(irq int) { delete(v.entries, irq) }
+
+// Enable marks a registered line enabled; reports whether the line exists.
+func (v *VGIC) Enable(irq int) bool {
+	e, ok := v.entries[irq]
+	if ok {
+		e.enabled = true
+	}
+	return ok
+}
+
+// Disable masks a line in the vGIC.
+func (v *VGIC) Disable(irq int) bool {
+	e, ok := v.entries[irq]
+	if ok {
+		e.enabled = false
+	}
+	return ok
+}
+
+// Owns reports whether the line is in this VM's record list.
+func (v *VGIC) Owns(irq int) bool {
+	_, ok := v.entries[irq]
+	return ok
+}
+
+// EnabledLines lists the lines the kernel must unmask when this VM runs.
+func (v *VGIC) EnabledLines() []int {
+	var out []int
+	for irq, e := range v.entries {
+		if e.enabled {
+			out = append(out, irq)
+		}
+	}
+	return out
+}
+
+// AllLines lists every registered line (masked on switch-out).
+func (v *VGIC) AllLines() []int {
+	out := make([]int, 0, len(v.entries))
+	for irq := range v.entries {
+		out = append(out, irq)
+	}
+	return out
+}
+
+// Inject queues a virtual interrupt for delivery. The caller (kernel IRQ
+// path) has already EOI'd the physical GIC; "it is the guest OS'
+// responsibility to manage its own vIRQ state" from here (§III-B).
+func (v *VGIC) Inject(irq int) bool {
+	e, ok := v.entries[irq]
+	if !ok || !e.enabled || e.inService {
+		return false
+	}
+	e.inService = true
+	v.pending = append(v.pending, irq)
+	v.Injected++
+	return true
+}
+
+// EOI completes a previously injected vIRQ, allowing re-injection.
+func (v *VGIC) EOI(irq int) bool {
+	e, ok := v.entries[irq]
+	if !ok || !e.inService {
+		return false
+	}
+	e.inService = false
+	return true
+}
+
+// DrainPending pops all queued injections in arrival order. The guest's
+// run loop calls this and dispatches each through its IRQ entry.
+func (v *VGIC) DrainPending() []int {
+	p := v.pending
+	v.pending = nil
+	return p
+}
+
+// HasPending reports whether injected vIRQs await delivery.
+func (v *VGIC) HasPending() bool { return len(v.pending) > 0 }
+
+// ApplyToGIC programs the physical distributor for a VM switch: when
+// active, this VM's enabled lines are unmasked; otherwise all its lines
+// are masked. Returns the number of distributor operations performed so
+// the world-switch path can charge their cost (the per-line GIC writes are
+// part of the paper's switch overhead).
+func (v *VGIC) ApplyToGIC(g *gic.GIC, active bool) int {
+	ops := 0
+	for irq, e := range v.entries {
+		if active && e.enabled {
+			g.Enable(irq)
+		} else {
+			g.Disable(irq)
+		}
+		ops++
+	}
+	return ops
+}

@@ -1,0 +1,124 @@
+package pl
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/gic"
+	"repro/internal/physmem"
+	"repro/internal/simclock"
+)
+
+// PCAP transfer rate model: the Zynq processor configuration access port
+// sustains on the order of 128 MB/s through the devcfg DMA, so each byte
+// costs FrequencyHz/128MiB ≈ 4.9 core cycles. The resulting latencies
+// (hundreds of µs to a few ms for the paper's FFT/QAM partial bitstreams)
+// match the size↔delay relation of the authors' earlier work ([17]).
+const pcapCyclesPerByte = 5
+
+// PCAP device register offsets (subset of the Zynq devcfg block).
+const (
+	PCAPRegCtrl   = 0x00 // write 1: start transfer with latched src/len/target
+	PCAPRegSrc    = 0x08 // bitstream physical address
+	PCAPRegLen    = 0x0C // bitstream byte count
+	PCAPRegTarget = 0x10 // destination PRR index
+	PCAPRegStatus = 0x14 // 0 idle, 1 busy, 2 done, 3 error
+	PCAPRegIntSts = 0x18 // bit0 done (W1C)
+)
+
+// PCAP is the bitstream download engine. One transfer at a time; the
+// completion interrupt is gic.PCAPIRQ, which Mini-NOVA routes to the VM
+// that launched the transfer (§IV-D).
+type PCAP struct {
+	f    *Fabric
+	regs map[physmem.Addr]uint32
+
+	busy    bool
+	pending *simclock.Event
+
+	// Transfers counts completed downloads; Errors counts failed ones.
+	Transfers uint64
+	Errors    uint64
+}
+
+func newPCAP(f *Fabric) *PCAP {
+	return &PCAP{f: f, regs: make(map[physmem.Addr]uint32)}
+}
+
+// Name implements physmem.Device.
+func (p *PCAP) Name() string { return "devcfg-pcap" }
+
+// ReadReg implements physmem.Device.
+func (p *PCAP) ReadReg(off physmem.Addr) uint32 { return p.regs[off] }
+
+// WriteReg implements physmem.Device.
+func (p *PCAP) WriteReg(off physmem.Addr, v uint32) {
+	switch off {
+	case PCAPRegCtrl:
+		if v&1 != 0 {
+			p.kick()
+		}
+	case PCAPRegIntSts:
+		p.regs[PCAPRegIntSts] &^= v
+	default:
+		p.regs[off] = v
+	}
+}
+
+// TransferCycles is the modelled latency of downloading n bytes.
+func TransferCycles(n int) simclock.Cycles {
+	return simclock.Cycles(n * pcapCyclesPerByte)
+}
+
+func (p *PCAP) kick() {
+	if p.busy {
+		p.regs[PCAPRegStatus] = 3
+		p.Errors++
+		return
+	}
+	src := physmem.Addr(p.regs[PCAPRegSrc])
+	n := int(p.regs[PCAPRegLen])
+	target := int(p.regs[PCAPRegTarget])
+	p.busy = true
+	p.regs[PCAPRegStatus] = 1
+	p.pending = p.f.Clock.After(TransferCycles(n), func(simclock.Cycles) {
+		p.finish(src, n, target)
+	})
+}
+
+func (p *PCAP) finish(src physmem.Addr, n, target int) {
+	p.busy = false
+	p.pending = nil
+	fail := func(err error) {
+		p.Errors++
+		p.regs[PCAPRegStatus] = 3
+		p.regs[PCAPRegIntSts] |= 1
+		p.f.GIC.Raise(gic.PCAPIRQ)
+		_ = err
+	}
+	if target < 0 || target >= len(p.f.PRRs) {
+		fail(fmt.Errorf("pcap: bad target PRR %d", target))
+		return
+	}
+	raw, err := p.f.Bus.ReadBytes(src, n)
+	if err != nil {
+		fail(err)
+		return
+	}
+	bs, err := bitstream.Decode(raw)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := p.f.LoadConfiguration(target, bs); err != nil {
+		fail(err)
+		return
+	}
+	p.Transfers++
+	p.regs[PCAPRegStatus] = 2
+	p.regs[PCAPRegIntSts] |= 1
+	p.f.GIC.Raise(gic.PCAPIRQ)
+}
+
+// Busy reports whether a transfer is in flight.
+func (p *PCAP) Busy() bool { return p.busy }

@@ -1,0 +1,196 @@
+// Package simclock provides the simulated cycle clock that every other
+// component of the Zynq-7000 platform model is driven by.
+//
+// The paper's measurements are taken on a 660 MHz ARM Cortex-A9, so the
+// canonical conversion used throughout this repository is
+// 660 cycles == 1 µs. All latencies reported by the experiment harness are
+// derived from cycle counts through this package, never from wall-clock time,
+// which makes every run bit-for-bit deterministic.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// FrequencyHz is the clock rate of the modelled Cortex-A9 core
+// (Zynq-7000 at 660 MHz, as in the paper's evaluation platform).
+const FrequencyHz = 660_000_000
+
+// CyclesPerMicrosecond is the number of core cycles in one microsecond.
+const CyclesPerMicrosecond = FrequencyHz / 1_000_000
+
+// Cycles is a duration or instant measured in CPU core cycles.
+type Cycles uint64
+
+// Micros converts a cycle count to microseconds as a float.
+func (c Cycles) Micros() float64 {
+	return float64(c) / float64(CyclesPerMicrosecond)
+}
+
+// Millis converts a cycle count to milliseconds as a float.
+func (c Cycles) Millis() float64 {
+	return c.Micros() / 1000
+}
+
+// String renders the count in a human-readable form.
+func (c Cycles) String() string {
+	return fmt.Sprintf("%dcyc (%.3fus)", uint64(c), c.Micros())
+}
+
+// FromMicros converts microseconds to cycles, rounding down.
+func FromMicros(us float64) Cycles {
+	return Cycles(us * float64(CyclesPerMicrosecond))
+}
+
+// FromMillis converts milliseconds to cycles, rounding down.
+func FromMillis(ms float64) Cycles {
+	return FromMicros(ms * 1000)
+}
+
+// Event is a callback scheduled to fire at an absolute instant.
+type Event struct {
+	When Cycles
+	Fire func(now Cycles)
+
+	seq   uint64 // tiebreaker: FIFO among equal deadlines
+	index int    // heap bookkeeping; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is the global simulated time source plus a deadline queue.
+// It is not safe for concurrent use; the platform model is single-threaded
+// by design (one simulated core, as in the paper's evaluation, which pins
+// everything to CPU0).
+type Clock struct {
+	now    Cycles
+	events eventHeap
+	seq    uint64
+}
+
+// New returns a clock at cycle zero with an empty event queue.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current simulated instant.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Advance moves time forward by d cycles, firing any events whose deadline
+// is passed, in deadline order. Events fire with the clock set exactly to
+// their deadline, so a handler observing Now() sees its own firing time.
+//
+// Advance is reentrant: an event handler may itself call Advance (an
+// interrupt handler charging execution cycles, for instance). Time never
+// moves backward — if a handler advanced past this call's target, the
+// clock stays at the later instant.
+func (c *Clock) Advance(d Cycles) {
+	target := c.now + d
+	for len(c.events) > 0 && c.events[0].When <= target {
+		e := heap.Pop(&c.events).(*Event)
+		if e.When > c.now {
+			c.now = e.When
+		}
+		e.Fire(c.now)
+	}
+	if target > c.now {
+		c.now = target
+	}
+}
+
+// AdvanceTo moves time forward to the absolute instant t (no-op if t is in
+// the past).
+func (c *Clock) AdvanceTo(t Cycles) {
+	if t > c.now {
+		c.Advance(t - c.now)
+	}
+}
+
+// After schedules fire to run d cycles from now and returns the event so the
+// caller may cancel it.
+func (c *Clock) After(d Cycles, fire func(now Cycles)) *Event {
+	return c.At(c.now+d, fire)
+}
+
+// At schedules fire at the absolute instant when. If when is in the past the
+// event fires on the next Advance of any size (including Advance(0)).
+func (c *Clock) At(when Cycles, fire func(now Cycles)) *Event {
+	if when < c.now {
+		when = c.now
+	}
+	e := &Event{When: when, Fire: fire, seq: c.seq}
+	c.seq++
+	heap.Push(&c.events, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or already-
+// cancelled event is a harmless no-op.
+func (c *Clock) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&c.events, e.index)
+	e.index = -2
+}
+
+// NextDeadline returns the earliest pending event time and true, or 0 and
+// false when the queue is empty.
+func (c *Clock) NextDeadline() (Cycles, bool) {
+	if len(c.events) == 0 {
+		return 0, false
+	}
+	return c.events[0].When, true
+}
+
+// Pending returns the number of scheduled events.
+func (c *Clock) Pending() int { return len(c.events) }
+
+// RunUntilIdle advances the clock through every pending event (including
+// events scheduled by event handlers) and stops at the last deadline.
+// It returns the number of events fired. The limit guards against handlers
+// that reschedule themselves forever; RunUntilIdle panics if exceeded.
+func (c *Clock) RunUntilIdle(limit int) int {
+	fired := 0
+	for len(c.events) > 0 {
+		if fired >= limit {
+			panic(fmt.Sprintf("simclock: RunUntilIdle exceeded %d events", limit))
+		}
+		next := c.events[0].When
+		c.AdvanceTo(next)
+		// AdvanceTo fires everything at == next.
+		fired++
+	}
+	return fired
+}

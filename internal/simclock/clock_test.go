@@ -1,0 +1,193 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConversionRoundTrip(t *testing.T) {
+	if CyclesPerMicrosecond != 660 {
+		t.Fatalf("expected 660 cycles/us for a 660MHz A9, got %d", CyclesPerMicrosecond)
+	}
+	if got := FromMicros(1).Micros(); got != 1 {
+		t.Errorf("FromMicros(1).Micros() = %v, want 1", got)
+	}
+	if got := FromMillis(33); got != 33*1000*660 {
+		t.Errorf("FromMillis(33) = %d cycles, want %d", got, 33*1000*660)
+	}
+}
+
+func TestAdvanceFiresInOrder(t *testing.T) {
+	c := New()
+	var order []int
+	c.After(30, func(Cycles) { order = append(order, 3) })
+	c.After(10, func(Cycles) { order = append(order, 1) })
+	c.After(20, func(Cycles) { order = append(order, 2) })
+	c.Advance(25)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("after Advance(25): order = %v, want [1 2]", order)
+	}
+	c.Advance(10)
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("after Advance(10): order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestEventSeesOwnDeadline(t *testing.T) {
+	c := New()
+	var seen Cycles
+	c.After(42, func(now Cycles) { seen = now })
+	c.Advance(100)
+	if seen != 42 {
+		t.Errorf("handler saw now=%d, want 42", seen)
+	}
+	if c.Now() != 100 {
+		t.Errorf("clock at %d after Advance(100), want 100", c.Now())
+	}
+}
+
+func TestFIFOAmongEqualDeadlines(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.After(5, func(Cycles) { order = append(order, i) })
+	}
+	c.Advance(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO among equal deadlines)", i, v, i)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	fired := false
+	e := c.After(10, func(Cycles) { fired = true })
+	c.Cancel(e)
+	c.Advance(20)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	c.Cancel(e) // double-cancel must be harmless
+}
+
+func TestPastDeadlineClamped(t *testing.T) {
+	c := New()
+	c.Advance(100)
+	fired := Cycles(0)
+	c.At(50, func(now Cycles) { fired = now })
+	c.Advance(0)
+	if fired != 100 {
+		t.Errorf("past event fired at %d, want clamped to 100", fired)
+	}
+}
+
+func TestHandlerScheduling(t *testing.T) {
+	c := New()
+	count := 0
+	var tick func(now Cycles)
+	tick = func(now Cycles) {
+		count++
+		if count < 5 {
+			c.After(10, tick)
+		}
+	}
+	c.After(10, tick)
+	c.RunUntilIdle(100)
+	if count != 5 {
+		t.Errorf("chained ticks = %d, want 5", count)
+	}
+	if c.Now() != 50 {
+		t.Errorf("clock at %d after 5 ticks, want 50", c.Now())
+	}
+}
+
+func TestReentrantAdvance(t *testing.T) {
+	c := New()
+	var later bool
+	c.After(10, func(Cycles) {
+		// Handler does costed work, advancing past this Advance's target.
+		c.Advance(100)
+	})
+	c.After(50, func(Cycles) { later = true })
+	c.Advance(20)
+	if c.Now() != 110 {
+		t.Errorf("clock at %d, want 110 (handler advanced past target)", c.Now())
+	}
+	if !later {
+		t.Error("event due during nested advance did not fire")
+	}
+	// Time must never move backward.
+	c.Advance(1)
+	if c.Now() != 111 {
+		t.Errorf("clock at %d, want 111", c.Now())
+	}
+}
+
+func TestRunUntilIdleLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when exceeding event limit")
+		}
+	}()
+	c := New()
+	var forever func(now Cycles)
+	forever = func(Cycles) { c.After(1, forever) }
+	c.After(1, forever)
+	c.RunUntilIdle(10)
+}
+
+func TestNextDeadline(t *testing.T) {
+	c := New()
+	if _, ok := c.NextDeadline(); ok {
+		t.Error("empty clock reported a deadline")
+	}
+	c.After(7, func(Cycles) {})
+	if d, ok := c.NextDeadline(); !ok || d != 7 {
+		t.Errorf("NextDeadline = %d,%v want 7,true", d, ok)
+	}
+}
+
+// Property: advancing in any chunking reaches the same instant and fires the
+// same number of events.
+func TestPropertyChunkedAdvanceEquivalent(t *testing.T) {
+	f := func(deadlines []uint16, chunks []uint8) bool {
+		if len(deadlines) > 50 {
+			deadlines = deadlines[:50]
+		}
+		run := func(split bool) (Cycles, int) {
+			c := New()
+			fired := 0
+			for _, d := range deadlines {
+				c.After(Cycles(d), func(Cycles) { fired++ })
+			}
+			total := Cycles(70000)
+			if split {
+				var done Cycles
+				for _, ch := range chunks {
+					step := Cycles(ch)
+					if done+step > total {
+						step = total - done
+					}
+					c.Advance(step)
+					done += step
+				}
+				c.Advance(total - done)
+			} else {
+				c.Advance(total)
+			}
+			return c.Now(), fired
+		}
+		n1, f1 := run(false)
+		n2, f2 := run(true)
+		return n1 == n2 && f1 == f2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

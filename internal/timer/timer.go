@@ -1,0 +1,77 @@
+// Package timer models the Cortex-A9 MPCore private timer that Mini-NOVA
+// uses both for its own scheduling quantum and as the backing source for
+// guest virtual timers (paper §III-A, §V-A: "the guest timer is implemented
+// by a virtual timer allocated by Mini-NOVA").
+package timer
+
+import (
+	"repro/internal/gic"
+	"repro/internal/simclock"
+)
+
+// PrivateTimer is a down-counting timer with auto-reload that raises
+// gic.PrivateTimerIRQ on expiry. The A9 private timer ticks at CPU/2; for
+// model simplicity it is programmed directly in core cycles.
+type PrivateTimer struct {
+	clock *simclock.Clock
+	gic   *gic.GIC
+
+	interval simclock.Cycles
+	oneShot  bool
+	running  bool
+	event    *simclock.Event
+
+	Expiries uint64
+}
+
+// New wires a private timer to the clock and interrupt controller.
+func New(c *simclock.Clock, g *gic.GIC) *PrivateTimer {
+	return &PrivateTimer{clock: c, gic: g}
+}
+
+// Start programs the timer to fire every interval cycles (auto-reload) or
+// once (oneShot). Restarting a running timer reprograms it.
+func (t *PrivateTimer) Start(interval simclock.Cycles, oneShot bool) {
+	t.Stop()
+	t.interval = interval
+	t.oneShot = oneShot
+	t.running = true
+	t.arm()
+}
+
+func (t *PrivateTimer) arm() {
+	t.event = t.clock.After(t.interval, t.expire)
+}
+
+func (t *PrivateTimer) expire(simclock.Cycles) {
+	t.Expiries++
+	t.gic.Raise(gic.PrivateTimerIRQ)
+	if t.oneShot {
+		t.running = false
+		return
+	}
+	t.arm()
+}
+
+// Stop cancels the timer.
+func (t *PrivateTimer) Stop() {
+	if t.event != nil {
+		t.clock.Cancel(t.event)
+		t.event = nil
+	}
+	t.running = false
+}
+
+// Running reports whether the timer is armed.
+func (t *PrivateTimer) Running() bool { return t.running }
+
+// Remaining returns cycles until the next expiry (0 when stopped).
+func (t *PrivateTimer) Remaining() simclock.Cycles {
+	if !t.running || t.event == nil || t.event.Cancelled() {
+		return 0
+	}
+	if t.event.When <= t.clock.Now() {
+		return 0
+	}
+	return t.event.When - t.clock.Now()
+}

@@ -1,0 +1,78 @@
+package timer
+
+import (
+	"testing"
+
+	"repro/internal/gic"
+	"repro/internal/simclock"
+)
+
+func rig() (*simclock.Clock, *gic.GIC, *PrivateTimer) {
+	c := simclock.New()
+	g := gic.New()
+	g.Enable(gic.PrivateTimerIRQ)
+	return c, g, New(c, g)
+}
+
+func TestPeriodicExpiry(t *testing.T) {
+	c, g, tm := rig()
+	tm.Start(100, false)
+	c.Advance(350)
+	if tm.Expiries != 3 {
+		t.Errorf("Expiries = %d after 350 cycles @100, want 3", tm.Expiries)
+	}
+	if !g.IsPending(gic.PrivateTimerIRQ) {
+		t.Error("timer IRQ not pending")
+	}
+}
+
+func TestOneShot(t *testing.T) {
+	c, _, tm := rig()
+	tm.Start(50, true)
+	c.Advance(500)
+	if tm.Expiries != 1 {
+		t.Errorf("one-shot fired %d times", tm.Expiries)
+	}
+	if tm.Running() {
+		t.Error("one-shot still running")
+	}
+}
+
+func TestStopCancels(t *testing.T) {
+	c, _, tm := rig()
+	tm.Start(100, false)
+	c.Advance(50)
+	tm.Stop()
+	c.Advance(500)
+	if tm.Expiries != 0 {
+		t.Errorf("stopped timer fired %d times", tm.Expiries)
+	}
+}
+
+func TestRestartReprograms(t *testing.T) {
+	c, _, tm := rig()
+	tm.Start(100, false)
+	c.Advance(50)
+	tm.Start(300, false) // reprogram before first expiry
+	c.Advance(250)       // now at 300; new deadline is 50+300=350
+	if tm.Expiries != 0 {
+		t.Errorf("reprogrammed timer fired early (%d)", tm.Expiries)
+	}
+	c.Advance(100)
+	if tm.Expiries != 1 {
+		t.Errorf("Expiries = %d, want 1", tm.Expiries)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	c, _, tm := rig()
+	tm.Start(100, false)
+	c.Advance(30)
+	if r := tm.Remaining(); r != 70 {
+		t.Errorf("Remaining = %d, want 70", r)
+	}
+	tm.Stop()
+	if r := tm.Remaining(); r != 0 {
+		t.Errorf("Remaining after stop = %d, want 0", r)
+	}
+}

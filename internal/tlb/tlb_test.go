@@ -1,0 +1,174 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tr(pfn uint32) Translation { return Translation{PFN: pfn, Domain: 1, AP: 3} }
+
+func TestInsertLookup(t *testing.T) {
+	tl := NewA9()
+	tl.Insert(0x1000_0000, 5, false, tr(0x12345))
+	got, ok := tl.Lookup(0x1000_0ABC, 5)
+	if !ok {
+		t.Fatal("lookup missed after insert (same page)")
+	}
+	if got.PFN != 0x12345 {
+		t.Errorf("PFN = %#x, want 0x12345", got.PFN)
+	}
+	if got.PhysAddr(0x1000_0ABC) != 0x12345ABC {
+		t.Errorf("PhysAddr = %#x, want 0x12345ABC", got.PhysAddr(0x1000_0ABC))
+	}
+}
+
+func TestASIDIsolation(t *testing.T) {
+	tl := NewA9()
+	tl.Insert(0x1000_0000, 5, false, tr(0x11111))
+	if _, ok := tl.Lookup(0x1000_0000, 6); ok {
+		t.Error("ASID 6 hit ASID 5's entry")
+	}
+	tl.Insert(0x1000_0000, 6, false, tr(0x22222))
+	a, _ := tl.Lookup(0x1000_0000, 5)
+	b, _ := tl.Lookup(0x1000_0000, 6)
+	if a.PFN == b.PFN {
+		t.Error("ASIDs 5 and 6 share a translation")
+	}
+}
+
+func TestGlobalMatchesAllASIDs(t *testing.T) {
+	tl := NewA9()
+	tl.Insert(0xC000_0000, 0, true, tr(0x99999))
+	for asid := uint8(0); asid < 8; asid++ {
+		if _, ok := tl.Lookup(0xC000_0000, asid); !ok {
+			t.Errorf("global entry missed under ASID %d", asid)
+		}
+	}
+}
+
+func TestSectionEntryCoversMegabyte(t *testing.T) {
+	tl := NewA9()
+	sec := Translation{PFN: 0x40000, Large: true, Domain: 0, AP: 3}
+	tl.Insert(0x0010_0000, 1, false, sec)
+	if _, ok := tl.Lookup(0x001F_FFFC, 1); !ok {
+		t.Error("section entry did not cover its 1MB range")
+	}
+	if _, ok := tl.Lookup(0x0020_0000, 1); ok {
+		t.Error("section entry leaked past 1MB")
+	}
+	got, _ := tl.Lookup(0x0012_3456, 1)
+	if pa := got.PhysAddr(0x0012_3456); pa != 0x4002_3456 {
+		t.Errorf("section PhysAddr = %#x, want 0x40023456", pa)
+	}
+}
+
+func TestFlushASID(t *testing.T) {
+	tl := NewA9()
+	tl.Insert(0x1000_0000, 5, false, tr(1))
+	tl.Insert(0x2000_0000, 6, false, tr(2))
+	tl.Insert(0xC000_0000, 0, true, tr(3))
+	tl.FlushASID(5)
+	if _, ok := tl.Lookup(0x1000_0000, 5); ok {
+		t.Error("flushed ASID still hits")
+	}
+	if _, ok := tl.Lookup(0x2000_0000, 6); !ok {
+		t.Error("FlushASID(5) removed ASID 6's entry")
+	}
+	if _, ok := tl.Lookup(0xC000_0000, 5); !ok {
+		t.Error("FlushASID removed a global entry")
+	}
+}
+
+func TestFlushVA(t *testing.T) {
+	tl := NewA9()
+	tl.Insert(0x1000_0000, 5, false, tr(1))
+	tl.Insert(0x1000_1000, 5, false, tr(2))
+	tl.FlushVA(0x1000_0000, 5)
+	if _, ok := tl.Lookup(0x1000_0000, 5); ok {
+		t.Error("FlushVA left the entry")
+	}
+	if _, ok := tl.Lookup(0x1000_1000, 5); !ok {
+		t.Error("FlushVA removed a different page")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tl := NewA9()
+	for i := uint32(0); i < 50; i++ {
+		tl.Insert(0x1000_0000+i<<12, uint8(i%4), i%7 == 0, tr(i))
+	}
+	tl.FlushAll()
+	if tl.Resident() != 0 {
+		t.Errorf("%d entries resident after FlushAll", tl.Resident())
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	tl := New(2, 2) // one set, two ways
+	tl.Insert(0x0000_1000, 1, false, tr(1))
+	tl.Insert(0x0000_2000, 1, false, tr(2))
+	tl.Lookup(0x0000_1000, 1) // make entry 1 MRU
+	tl.Insert(0x0000_3000, 1, false, tr(3))
+	if _, ok := tl.Lookup(0x0000_1000, 1); !ok {
+		t.Error("MRU entry evicted")
+	}
+	if _, ok := tl.Lookup(0x0000_2000, 1); ok {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestRefillInPlace(t *testing.T) {
+	tl := NewA9()
+	tl.Insert(0x1000_0000, 5, false, tr(1))
+	tl.Insert(0x1000_0000, 5, false, tr(42)) // updated mapping
+	got, ok := tl.Lookup(0x1000_0000, 5)
+	if !ok || got.PFN != 42 {
+		t.Errorf("refill: got %#x,%v want 42,true", got.PFN, ok)
+	}
+	if tl.Stats().Evictions != 0 {
+		t.Error("in-place refill counted as eviction")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	tl := NewA9()
+	tl.Lookup(0x1000, 1) // miss
+	tl.Insert(0x1000, 1, false, tr(1))
+	tl.Lookup(0x1000, 1) // hit
+	tl.Lookup(0x2000, 1) // miss
+	st := tl.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Accesses() != 3 {
+		t.Errorf("stats = %+v, want 1 hit 2 misses", st)
+	}
+}
+
+// Property: after Insert(va, asid) the very next Lookup(va, asid) hits, and
+// a Lookup under a different non-matching ASID never returns another ASID's
+// non-global translation.
+func TestPropertyInsertThenHit(t *testing.T) {
+	tl := NewA9()
+	f := func(page uint16, asid, other uint8, pfn uint32) bool {
+		va := uint32(page) << 12
+		tl.Insert(va, asid, false, tr(pfn&0xFFFFF))
+		got, ok := tl.Lookup(va, asid)
+		if !ok || got.PFN != pfn&0xFFFFF {
+			return false
+		}
+		if other != asid {
+			if g, ok := tl.Lookup(va, other); ok && g.PFN == pfn&0xFFFFF {
+				// A hit is only legal if some earlier iteration inserted the
+				// same PFN under 'other'; to keep the property crisp, flush
+				// and re-verify isolation.
+				tl.FlushAll()
+				tl.Insert(va, asid, false, tr(pfn&0xFFFFF))
+				if _, ok2 := tl.Lookup(va, other); ok2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
