@@ -64,6 +64,31 @@ func BenchmarkFig9(b *testing.B) {
 	}
 }
 
+// BenchmarkDualCoreOffload compares the paper's CPU0-only deployment with
+// the dual-core Zynq partitioning — guests on core 0, the Hardware Task
+// Manager service pinned on core 1, requests crossing cores by SGI. The
+// reported metrics show the request path shortening (no world switch on
+// the guests' core) and the per-core load split.
+func BenchmarkDualCoreOffload(b *testing.B) {
+	for _, cores := range []int{1, 2} {
+		b.Run(map[int]string{1: "1core", 2: "2core"}[cores], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Guests = 2
+				rep := experiments.RunDualCoreRow(cfg, cores)
+				b.ReportMetric(rep.Entry, "entry_us")
+				b.ReportMetric(rep.Total, "total_us")
+				b.ReportMetric(float64(rep.VMSwitches), "vm_switches")
+				if cores == 2 {
+					b.ReportMetric(rep.PerCore[0].Utilization*100, "cpu0_util_pct")
+					b.ReportMetric(rep.PerCore[1].Utilization*100, "cpu1_util_pct")
+					b.ReportMetric(float64(rep.SGIsSent), "sgis")
+				}
+			}
+		})
+	}
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // switchHeavySystem builds a 2-VM system that world-switches frequently.

@@ -9,6 +9,7 @@
 //	go run ./cmd/experiments -table3    # just the table
 //	go run ./cmd/experiments -fig9     # just the figure (implies -table3)
 //	go run ./cmd/experiments -footprint # just the scalars
+//	go run ./cmd/experiments -dualcore  # dual-core offload comparison
 //	go run ./cmd/experiments -iters 40 -guests 4
 package main
 
@@ -25,6 +26,7 @@ func main() {
 		table3    = flag.Bool("table3", false, "reproduce Table III")
 		fig9      = flag.Bool("fig9", false, "reproduce Figure 9 (runs Table III)")
 		footprint = flag.Bool("footprint", false, "report the Section V-B scalars")
+		dualcore  = flag.Bool("dualcore", false, "compare the CPU0-only deployment with the dual-core partitioning")
 		guests    = flag.Int("guests", 4, "maximum number of guest VMs")
 		iters     = flag.Int("iters", 24, "measured hardware-task requests per guest")
 		warmup    = flag.Int("warmup", 4, "warm-up requests per guest before measuring")
@@ -33,7 +35,7 @@ func main() {
 		seed      = flag.Uint("seed", 1, "task-selection seed")
 	)
 	flag.Parse()
-	all := !*table3 && !*fig9 && !*footprint
+	all := !*table3 && !*fig9 && !*footprint && !*dualcore
 
 	cfg := experiments.DefaultConfig()
 	cfg.Guests = *guests
@@ -46,6 +48,15 @@ func main() {
 	if all || *footprint {
 		root, _ := os.Getwd()
 		fmt.Println(experiments.CollectFootprint(root))
+	}
+	if all || *dualcore {
+		dcfg := cfg
+		dcfg.Guests = 2
+		fmt.Printf("running dual-core offload comparison (2 guests, service on core 1)...\n")
+		d := experiments.RunDualCore(dcfg)
+		fmt.Println(d)
+		dchecks := d.Check()
+		fmt.Printf("dual-core checks: %+v\n  all hold: %v\n\n", dchecks, dchecks.AllHold())
 	}
 	if all || *table3 || *fig9 {
 		fmt.Printf("running Table III sweep (native + 1..%d guests, %d requests each)...\n",

@@ -16,12 +16,16 @@ import (
 	"repro/internal/hwtask"
 	"repro/internal/nova"
 	"repro/internal/pl"
+	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/ucos"
 )
 
 func main() {
-	k := nova.NewKernel()
+	// Dual-core: the contending VMs share core 0 while the Hardware Task
+	// Manager arbitrates from core 1.
+	k := nova.NewKernelSMP(2)
+	k.Sched = sched.NewPartitioned(2, simclock.FromMillis(nova.DefaultQuantumMs))
 	defer k.Shutdown()
 
 	// One large PRR only: maximal contention for the shared task.
@@ -41,7 +45,7 @@ func main() {
 	svcPD := k.CreatePD(nova.PDConfig{
 		Name: "hwtm", Priority: nova.PrioService, Caps: nova.CapHwManager,
 		Guest: hwtask.NewService(mgr, k), CodeBase: nova.GuestUserBase,
-		CodeSize: 8 << 10, StartSuspended: true,
+		CodeSize: 8 << 10, Affinity: sched.MaskOf(1), StartSuspended: true,
 	})
 	k.RegisterHwService(svcPD)
 
@@ -80,7 +84,10 @@ func main() {
 				})
 			},
 		}
-		k.CreatePD(nova.PDConfig{Name: g.GuestName, Priority: nova.PrioGuest, Guest: g})
+		k.CreatePD(nova.PDConfig{
+			Name: g.GuestName, Priority: nova.PrioGuest, Guest: g,
+			Affinity: sched.MaskOf(0),
+		})
 	}
 
 	k.RunFor(simclock.FromMillis(600))

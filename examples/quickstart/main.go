@@ -13,13 +13,18 @@ import (
 	"repro/internal/hwtask"
 	"repro/internal/nova"
 	"repro/internal/pl"
+	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/ucos"
 )
 
 func main() {
-	// 1. Boot the microkernel on the simulated Zynq-7000 PS.
-	k := nova.NewKernel()
+	// 1. Boot the microkernel on both cores of the simulated Zynq-7000
+	//    PS, statically partitioned: guest VMs own core 0, the Hardware
+	//    Task Manager service owns core 1 (the paper's intended
+	//    deployment on the dual-core part).
+	k := nova.NewKernelSMP(2)
+	k.Sched = sched.NewPartitioned(2, simclock.FromMillis(nova.DefaultQuantumMs))
 
 	// 2. Build the PL: the paper's four reconfigurable regions with the
 	//    FFT/QAM bitstream catalog and behavioural IP cores.
@@ -42,7 +47,7 @@ func main() {
 	svcPD := k.CreatePD(nova.PDConfig{
 		Name: "hwtm", Priority: nova.PrioService, Caps: nova.CapHwManager,
 		Guest: hwtask.NewService(mgr, k), CodeBase: nova.GuestUserBase,
-		CodeSize: 8 << 10, StartSuspended: true,
+		CodeSize: 8 << 10, Affinity: sched.MaskOf(1), StartSuspended: true,
 	})
 	k.RegisterHwService(svcPD)
 
@@ -70,7 +75,10 @@ func main() {
 			})
 		},
 	}
-	k.CreatePD(nova.PDConfig{Name: guest.GuestName, Priority: nova.PrioGuest, Guest: guest})
+	k.CreatePD(nova.PDConfig{
+		Name: guest.GuestName, Priority: nova.PrioGuest, Guest: guest,
+		Affinity: sched.MaskOf(0),
+	})
 
 	// 5. Run 50 simulated milliseconds and show what happened.
 	k.RunFor(simclock.FromMillis(50))
@@ -79,5 +87,8 @@ func main() {
 	fmt.Print(k.ConsoleString())
 	fmt.Printf("\nsimulated %.1f ms; manager stats: %+v\n",
 		k.Clock.Now().Millis(), mgr.Stats)
+	for _, c := range k.Cores {
+		fmt.Printf("cpu%d utilization: %.2f%%\n", c.ID, c.Utilization(k.Clock.Now())*100)
+	}
 	fmt.Printf("probes:\n%s", k.Probes)
 }

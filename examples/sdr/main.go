@@ -15,12 +15,17 @@ import (
 	"repro/internal/hwtask"
 	"repro/internal/nova"
 	"repro/internal/pl"
+	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/ucos"
 )
 
 func buildSystem() (*nova.Kernel, *hwtask.Manager) {
-	k := nova.NewKernel()
+	// Dual-core deployment: the SDR guest owns core 0, the Hardware Task
+	// Manager service owns core 1, so accelerator requests never evict
+	// the pipeline from its core.
+	k := nova.NewKernelSMP(2)
+	k.Sched = sched.NewPartitioned(2, simclock.FromMillis(nova.DefaultQuantumMs))
 	caps := hwtask.PaperPRRCapacities()
 	fabric := pl.NewFabric(k.Clock, k.Bus, k.GIC, caps)
 	for _, id := range hwtask.QAMTaskIDs {
@@ -37,7 +42,7 @@ func buildSystem() (*nova.Kernel, *hwtask.Manager) {
 	svcPD := k.CreatePD(nova.PDConfig{
 		Name: "hwtm", Priority: nova.PrioService, Caps: nova.CapHwManager,
 		Guest: hwtask.NewService(mgr, k), CodeBase: nova.GuestUserBase,
-		CodeSize: 8 << 10, StartSuspended: true,
+		CodeSize: 8 << 10, Affinity: sched.MaskOf(1), StartSuspended: true,
 	})
 	k.RegisterHwService(svcPD)
 	return k, mgr
@@ -102,7 +107,10 @@ func main() {
 			})
 		},
 	}
-	k.CreatePD(nova.PDConfig{Name: guest.GuestName, Priority: nova.PrioGuest, Guest: guest})
+	k.CreatePD(nova.PDConfig{
+		Name: guest.GuestName, Priority: nova.PrioGuest, Guest: guest,
+		Affinity: sched.MaskOf(0),
+	})
 
 	k.RunFor(simclock.FromMillis(300))
 	fmt.Print(k.ConsoleString())
@@ -110,4 +118,7 @@ func main() {
 	fmt.Printf("manager: %+v\n", mgr.Stats)
 	fmt.Printf("PL IRQ injections delivered: %d\n",
 		k.Probes.Get("plirq_entry").Count)
+	for _, c := range k.Cores {
+		fmt.Printf("cpu%d utilization: %.2f%%\n", c.ID, c.Utilization(k.Clock.Now())*100)
+	}
 }

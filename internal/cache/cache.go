@@ -264,6 +264,23 @@ func NewA9Hierarchy() *Hierarchy {
 	}
 }
 
+// NewA9SharedL2 returns n per-core hierarchies with private 32 KB L1s over
+// one shared 512 KB L2 — the Cortex-A9 MPCore memory system of the
+// dual-core Zynq-7000: cross-core interference shows up as L2 contention
+// while each core keeps its own L1 working set.
+func NewA9SharedL2(n int) []*Hierarchy {
+	l2 := New("L2", 512<<10, 8)
+	hs := make([]*Hierarchy, n)
+	for i := range hs {
+		hs[i] = &Hierarchy{
+			L1I: New("L1I", 32<<10, 4),
+			L1D: New("L1D", 32<<10, 4),
+			L2:  l2,
+		}
+	}
+	return hs
+}
+
 // FetchCost runs an instruction fetch at pa through L1I/L2 and returns the
 // additional cycle cost (0 on L1 hit).
 func (h *Hierarchy) FetchCost(pa physmem.Addr) uint64 {

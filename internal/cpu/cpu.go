@@ -134,8 +134,11 @@ const (
 	CP15VFPEN                     // model register: CP10/11 access enable
 )
 
-// CPU is the single modelled A9 core with its memory system.
+// CPU is one modelled A9 core with its memory system. ID is the core's
+// index — it selects the core's GIC CPU interface, so banked interrupts
+// (SGIs, the private-timer PPI) and targeted SPIs reach the right core.
 type CPU struct {
+	ID     int
 	Clock  *simclock.Clock
 	Bus    *physmem.Bus
 	Caches *cache.Hierarchy
@@ -170,11 +173,18 @@ type CPUStats struct {
 	VFPTraps     uint64
 }
 
-// New assembles a CPU over fresh memory-system models.
+// New assembles core 0 over fresh memory-system models.
 func New(clock *simclock.Clock, bus *physmem.Bus, g *gic.GIC) *CPU {
-	h := cache.NewA9Hierarchy()
+	return NewCore(clock, bus, g, 0, cache.NewA9Hierarchy())
+}
+
+// NewCore assembles core id of an MPCore over the given cache hierarchy
+// (callers share one L2 across cores via cache.NewA9SharedL2). Each core
+// gets its own TLB and MMU state, as on silicon.
+func NewCore(clock *simclock.Clock, bus *physmem.Bus, g *gic.GIC, id int, h *cache.Hierarchy) *CPU {
 	t := tlb.NewA9()
 	c := &CPU{
+		ID:     id,
 		Clock:  clock,
 		Bus:    bus,
 		Caches: h,
@@ -328,7 +338,7 @@ func (c *CPU) deliverAbort(f *mmu.Fault) bool {
 // PollIRQ takes a pending GIC interrupt if unmasked; it is called by
 // ExecContext at instruction boundaries, mimicking the nIRQ sample point.
 func (c *CPU) PollIRQ() {
-	if c.IRQMasked || c.inIRQ || c.Vectors.IRQ == nil || !c.GIC.PendingDeliverable() {
+	if c.IRQMasked || c.inIRQ || c.Vectors.IRQ == nil || !c.GIC.PendingDeliverable(c.ID) {
 		return
 	}
 	c.stats.IRQsTaken++

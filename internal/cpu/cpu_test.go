@@ -132,8 +132,8 @@ func TestIRQDelivery(t *testing.T) {
 	taken := 0
 	c.Vectors.IRQ = func() {
 		taken++
-		id := g.Acknowledge()
-		g.EOI(id)
+		id := g.Acknowledge(0)
+		g.EOI(0, id)
 	}
 	g.Enable(gic.UARTIRQ)
 	g.Raise(gic.UARTIRQ)
@@ -148,7 +148,7 @@ func TestIRQDelivery(t *testing.T) {
 func TestIRQMasking(t *testing.T) {
 	c, _, g := rig()
 	taken := 0
-	c.Vectors.IRQ = func() { taken++; g.EOI(g.Acknowledge()) }
+	c.Vectors.IRQ = func() { taken++; g.EOI(0, g.Acknowledge(0)) }
 	g.Enable(gic.UARTIRQ)
 	g.Raise(gic.UARTIRQ)
 	c.IRQMasked = true

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDualCoreOffload(t *testing.T) {
+	cfg := testConfig(2, 8)
+	if testing.Short() {
+		cfg.Iterations = 5
+	}
+	d := RunDualCore(cfg)
+	t.Logf("\n%s", d.String())
+	checks := d.Check()
+	if !checks.AllHold() {
+		t.Errorf("dual-core checks failed: %+v", checks)
+	}
+	if len(d.Dual.PerCore) != 2 {
+		t.Fatalf("dual row reports %d cores, want 2", len(d.Dual.PerCore))
+	}
+	// The guests' core carries the load; the service core only runs
+	// request handling.
+	if d.Dual.PerCore[0].Utilization < 0.5 {
+		t.Errorf("guest core utilization = %.2f, want loaded", d.Dual.PerCore[0].Utilization)
+	}
+	s := d.String()
+	for _, want := range []string{"HW Manager entry", "Reschedule SGIs", "per-core utilization"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestDualCoreSystemCompletes(t *testing.T) {
+	// The partitioned dual-core stack must finish the same workload the
+	// single-core stack does (all T_hw iterations served cross-core).
+	cfg := testConfig(2, 5)
+	cfg.Cores = 2
+	sys := BuildVirtSystem(cfg)
+	defer sys.Kernel.Shutdown()
+	sys.RunToCompletion(safetyHorizon(cfg))
+	if !sys.AllDone() {
+		t.Fatal("dual-core system did not complete its hardware-task iterations")
+	}
+	k := sys.Kernel
+	if k.PDs[0].Core.ID != 1 {
+		t.Errorf("service homed on core %d, want 1", k.PDs[0].Core.ID)
+	}
+	for _, pd := range k.PDs[1:] {
+		if pd.Core.ID != 0 {
+			t.Errorf("guest %s homed on core %d, want 0", pd.Name(), pd.Core.ID)
+		}
+	}
+	if k.GIC.Stats().SGIsSent == 0 {
+		t.Error("no cross-core SGIs in a partitioned run")
+	}
+}

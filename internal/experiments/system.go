@@ -12,6 +12,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/nova"
 	"repro/internal/pl"
+	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/ucos"
 )
@@ -20,6 +21,12 @@ import (
 type Config struct {
 	// Guests is the number of parallel uCOS-II VMs (paper: 1..4).
 	Guests int
+	// Cores is the number of simulated A9 cores (0 or 1 = the paper's
+	// CPU0-only measurement setup). With 2+, the system reproduces the
+	// paper's intended dual-core Zynq deployment: guest VMs partitioned
+	// on core 0, the Hardware Task Manager service pinned on core 1,
+	// cross-core requests travelling by SGI.
+	Cores int
 	// Iterations is the number of T_hw hardware-task requests per guest.
 	Iterations int
 	// QuantumMs is the guest time slice (paper: 33 ms).
@@ -197,10 +204,24 @@ type VirtSystem struct {
 // BuildVirtSystem boots the full virtualized stack of Fig. 8: Mini-NOVA,
 // the PL fabric with the paper's 4 PRRs and FFT/QAM bitstream catalog,
 // the Hardware Task Manager service PD, and n uCOS-II guest VMs each
-// running a workload task plus T_hw.
+// running a workload task plus T_hw. With cfg.Cores >= 2 the stack is
+// partitioned: guests on core 0, the manager service on core 1.
 func BuildVirtSystem(cfg Config) *VirtSystem {
-	k := nova.NewKernel()
-	k.Sched = nova.NewScheduler(simclock.FromMillis(cfg.QuantumMs))
+	cores := cfg.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	k := nova.NewKernelSMP(cores)
+	quantum := simclock.FromMillis(cfg.QuantumMs)
+	var svcMask, guestMask sched.CPUMask
+	if cores > 1 {
+		// Static partitioning (Bao-style): the service owns core 1, the
+		// guests share core 0 — the paper's intended Zynq deployment.
+		k.Sched = sched.NewPartitioned(cores, quantum)
+		svcMask, guestMask = sched.MaskOf(1), sched.MaskOf(0)
+	} else {
+		k.Sched = sched.NewPrioRR(1, quantum)
+	}
 
 	caps := hwtask.PaperPRRCapacities()
 	fabric := pl.NewFabric(k.Clock, k.Bus, k.GIC, caps)
@@ -217,7 +238,7 @@ func BuildVirtSystem(cfg Config) *VirtSystem {
 	svcPD := k.CreatePD(nova.PDConfig{
 		Name: "hwtm", Priority: nova.PrioService, Caps: nova.CapHwManager,
 		Guest: svc, CodeBase: nova.GuestUserBase, CodeSize: 8 << 10,
-		StartSuspended: true,
+		Affinity: svcMask, StartSuspended: true,
 	})
 	k.RegisterHwService(svcPD)
 
@@ -244,7 +265,10 @@ func BuildVirtSystem(cfg Config) *VirtSystem {
 			},
 		}
 		sys.Guests = append(sys.Guests, g)
-		k.CreatePD(nova.PDConfig{Name: g.GuestName, Priority: nova.PrioGuest, Guest: g})
+		k.CreatePD(nova.PDConfig{
+			Name: g.GuestName, Priority: nova.PrioGuest, Guest: g,
+			Affinity: guestMask,
+		})
 	}
 	return sys
 }

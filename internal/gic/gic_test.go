@@ -9,10 +9,10 @@ func TestRaiseAckEOICycle(t *testing.T) {
 	g := New()
 	g.Enable(UARTIRQ)
 	g.Raise(UARTIRQ)
-	if !g.PendingDeliverable() {
+	if !g.PendingDeliverable(0) {
 		t.Fatal("enabled+pending not deliverable")
 	}
-	id := g.Acknowledge()
+	id := g.Acknowledge(0)
 	if id != UARTIRQ {
 		t.Fatalf("Acknowledge = %d, want %d", id, UARTIRQ)
 	}
@@ -21,11 +21,11 @@ func TestRaiseAckEOICycle(t *testing.T) {
 	}
 	// While active, the same line cannot be re-delivered.
 	g.Raise(UARTIRQ)
-	if got := g.Acknowledge(); got != SpuriousID {
+	if got := g.Acknowledge(0); got != SpuriousID {
 		t.Errorf("re-delivery while active: got %d, want spurious", got)
 	}
-	g.EOI(UARTIRQ)
-	if got := g.Acknowledge(); got != UARTIRQ {
+	g.EOI(0, UARTIRQ)
+	if got := g.Acknowledge(0); got != UARTIRQ {
 		t.Errorf("after EOI: Acknowledge = %d, want %d", got, UARTIRQ)
 	}
 }
@@ -33,11 +33,11 @@ func TestRaiseAckEOICycle(t *testing.T) {
 func TestDisabledStaysLatched(t *testing.T) {
 	g := New()
 	g.Raise(PLIRQBase)
-	if g.PendingDeliverable() {
+	if g.PendingDeliverable(0) {
 		t.Error("disabled interrupt deliverable")
 	}
 	g.Enable(PLIRQBase)
-	if !g.PendingDeliverable() {
+	if !g.PendingDeliverable(0) {
 		t.Error("latched interrupt lost on enable")
 	}
 }
@@ -50,10 +50,10 @@ func TestPriorityOrdering(t *testing.T) {
 	g.SetPriority(PLIRQBase, 0x80)
 	g.Raise(PLIRQBase)
 	g.Raise(PrivateTimerIRQ)
-	if id := g.Acknowledge(); id != PrivateTimerIRQ {
+	if id := g.Acknowledge(0); id != PrivateTimerIRQ {
 		t.Errorf("Acknowledge = %d, want higher-priority timer %d", id, PrivateTimerIRQ)
 	}
-	if id := g.Acknowledge(); id != PLIRQBase {
+	if id := g.Acknowledge(0); id != PLIRQBase {
 		t.Errorf("second Acknowledge = %d, want %d", id, PLIRQBase)
 	}
 }
@@ -62,13 +62,13 @@ func TestPriorityMask(t *testing.T) {
 	g := New()
 	g.Enable(UARTIRQ)
 	g.SetPriority(UARTIRQ, 0xB0)
-	g.SetPriorityMask(0xA0)
+	g.SetPriorityMask(0, 0xA0)
 	g.Raise(UARTIRQ)
-	if g.PendingDeliverable() {
+	if g.PendingDeliverable(0) {
 		t.Error("interrupt below PMR delivered")
 	}
-	g.SetPriorityMask(0xFF)
-	if !g.PendingDeliverable() {
+	g.SetPriorityMask(0, 0xFF)
+	if !g.PendingDeliverable(0) {
 		t.Error("raising PMR did not unmask")
 	}
 }
@@ -76,7 +76,7 @@ func TestPriorityMask(t *testing.T) {
 func TestSignalEdge(t *testing.T) {
 	g := New()
 	fired := 0
-	g.Signal = func() { fired++ }
+	g.Signal = func(cpu int) { fired++ }
 	g.Enable(UARTIRQ)
 	g.Raise(UARTIRQ)
 	if fired == 0 {
@@ -90,14 +90,14 @@ func TestTieBreakByID(t *testing.T) {
 	g.Enable(PLIRQBase + 5)
 	g.Raise(PLIRQBase + 5)
 	g.Raise(PLIRQBase)
-	if id := g.Acknowledge(); id != PLIRQBase {
+	if id := g.Acknowledge(0); id != PLIRQBase {
 		t.Errorf("equal priorities: got %d, want lowest id %d", id, PLIRQBase)
 	}
 }
 
 func TestStrayEOIIgnored(t *testing.T) {
 	g := New()
-	g.EOI(UARTIRQ) // must not panic or count
+	g.EOI(0, UARTIRQ) // must not panic or count
 	if g.Stats().Completed != 0 {
 		t.Error("stray EOI counted as completion")
 	}
@@ -136,14 +136,14 @@ func TestPropertyAckBookkeeping(t *testing.T) {
 			case 0:
 				g.Raise(id)
 			case 1:
-				got := g.Acknowledge()
+				got := g.Acknowledge(0)
 				if got != SpuriousID {
 					if g.IsPending(got) {
 						return false
 					}
 				}
 			case 2:
-				g.EOI(id)
+				g.EOI(0, id)
 			}
 		}
 		s := g.Stats()
@@ -152,4 +152,106 @@ func TestPropertyAckBookkeeping(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
+}
+
+// --- multi-CPU interfaces and SGIs ---------------------------------------
+
+func TestSGIDelivery(t *testing.T) {
+	g := NewMP(2)
+	const resched = 1
+	g.Enable(resched)
+	g.RaiseSGI(1, resched)
+	// The SGI is banked: only the target CPU's interface sees it.
+	if g.PendingDeliverable(0) {
+		t.Error("SGI for CPU1 deliverable on CPU0")
+	}
+	if !g.PendingDeliverable(1) {
+		t.Fatal("SGI not deliverable on its target CPU")
+	}
+	if id := g.Acknowledge(1); id != resched {
+		t.Fatalf("CPU1 Acknowledge = %d, want SGI %d", id, resched)
+	}
+	if g.PendingDeliverable(1) {
+		t.Error("SGI still deliverable while active")
+	}
+	g.EOI(1, resched)
+	// Each interface banks its own active state: an SGI to CPU0 after
+	// CPU1's cycle must deliver independently.
+	g.RaiseSGI(0, resched)
+	if id := g.Acknowledge(0); id != resched {
+		t.Errorf("CPU0 Acknowledge = %d, want SGI %d", id, resched)
+	}
+	if s := g.Stats(); s.SGIsSent != 2 {
+		t.Errorf("SGIsSent = %d, want 2", s.SGIsSent)
+	}
+}
+
+func TestSGIPerCPUBanksIndependent(t *testing.T) {
+	g := NewMP(2)
+	const resched = 1
+	g.Enable(resched)
+	g.RaiseSGI(0, resched)
+	g.RaiseSGI(1, resched)
+	// Both interfaces hold their own pending latch for the same ID.
+	if g.Acknowledge(0) != resched || g.Acknowledge(1) != resched {
+		t.Fatal("banked SGI lost on one interface")
+	}
+	// CPU0's EOI must not complete CPU1's active SGI.
+	g.EOI(0, resched)
+	g.RaiseSGI(1, resched)
+	if g.PendingDeliverable(1) {
+		t.Error("SGI re-delivered on CPU1 while still active there")
+	}
+	g.EOI(1, resched)
+	if !g.PendingDeliverable(1) {
+		t.Error("latched SGI lost after EOI on CPU1")
+	}
+}
+
+func TestSPITargetRouting(t *testing.T) {
+	g := NewMP(2)
+	g.Enable(PLIRQBase)
+	g.SetTarget(PLIRQBase, 1)
+	g.Raise(PLIRQBase)
+	if g.PendingDeliverable(0) {
+		t.Error("SPI routed to CPU1 deliverable on CPU0")
+	}
+	if id := g.Acknowledge(1); id != PLIRQBase {
+		t.Errorf("CPU1 Acknowledge = %d, want %d", id, PLIRQBase)
+	}
+	if got := g.TargetOf(PLIRQBase); got != 1 {
+		t.Errorf("TargetOf = %d, want 1", got)
+	}
+}
+
+func TestPPIBankedPerCPU(t *testing.T) {
+	g := NewMP(2)
+	g.Enable(PrivateTimerIRQ) // enables every bank
+	g.RaiseOn(1, PrivateTimerIRQ)
+	if g.PendingDeliverable(0) {
+		t.Error("CPU1's private timer visible on CPU0")
+	}
+	if id := g.Acknowledge(1); id != PrivateTimerIRQ {
+		t.Errorf("CPU1 Acknowledge = %d, want private timer", id)
+	}
+}
+
+func TestSignalCarriesCPU(t *testing.T) {
+	g := NewMP(2)
+	var signalled []int
+	g.Signal = func(cpu int) { signalled = append(signalled, cpu) }
+	g.Enable(1)
+	g.RaiseSGI(1, 1)
+	if len(signalled) == 0 || signalled[len(signalled)-1] != 1 {
+		t.Errorf("Signal cpus = %v, want trailing 1", signalled)
+	}
+}
+
+func TestSGIOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SGI id >= NumSGIs did not panic")
+		}
+	}()
+	NewMP(2).RaiseSGI(0, NumSGIs)
 }

@@ -7,6 +7,7 @@ package measure
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -19,6 +20,11 @@ type Probe struct {
 	Total simclock.Cycles
 	Min   simclock.Cycles
 	Max   simclock.Cycles
+
+	// Keep retains every sample for percentile reporting (off by
+	// default: the Table III probes only need the running aggregates).
+	Keep    bool
+	samples []simclock.Cycles
 }
 
 // Add records one sample.
@@ -31,6 +37,9 @@ func (p *Probe) Add(d simclock.Cycles) {
 	}
 	p.Count++
 	p.Total += d
+	if p.Keep {
+		p.samples = append(p.samples, d)
+	}
 }
 
 // MeanCycles returns the average sample in cycles (0 when empty).
@@ -44,6 +53,38 @@ func (p *Probe) MeanCycles() float64 {
 // MeanMicros returns the average sample in microseconds.
 func (p *Probe) MeanMicros() float64 {
 	return p.MeanCycles() / float64(simclock.CyclesPerMicrosecond)
+}
+
+// Percentile returns the q-th percentile (0..100, nearest-rank) of the
+// retained samples. It requires Keep; with no retained samples it
+// returns 0.
+func (p *Probe) Percentile(q float64) simclock.Cycles {
+	if len(p.samples) == 0 {
+		return 0
+	}
+	sorted := make([]simclock.Cycles, len(p.samples))
+	copy(sorted, p.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	// Nearest-rank: smallest sample with at least q% of the set at or
+	// below it.
+	rank := int(math.Ceil(q / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Samples returns a copy of the retained samples (empty without Keep).
+func (p *Probe) Samples() []simclock.Cycles {
+	out := make([]simclock.Cycles, len(p.samples))
+	copy(out, p.samples)
+	return out
 }
 
 // Set is a collection of named probes.
@@ -67,10 +108,11 @@ func (s *Set) Get(name string) *Probe {
 // Add records a sample on the named probe.
 func (s *Set) Add(name string, d simclock.Cycles) { s.Get(name).Add(d) }
 
-// Reset clears all samples but keeps the probe names.
+// Reset clears all samples but keeps the probe names and their
+// sample-retention settings.
 func (s *Set) Reset() {
 	for _, p := range s.probes {
-		*p = Probe{}
+		*p = Probe{Keep: p.Keep}
 	}
 }
 

@@ -52,20 +52,20 @@ var hcBaseCost = map[int]int{
 
 // onSWI is the kernel's hypercall dispatcher — the PD exception interface
 // of §III-A, distributing calls to capability portals.
-func (k *Kernel) onSWI(num int, args [4]uint32) uint32 {
+func (k *Kernel) onSWI(c *CoreCtx, num int, args [4]uint32) uint32 {
 	t0 := k.Clock.Now()
-	pd := k.Current
+	pd := c.Current
 	if pd == nil {
 		return StatusErr
 	}
 	pd.Hypercalls++
-	k.kctx.Exec(hcBaseCost[num] + 14) // vector + dispatch table + handler
-	k.kctx.Touch(pd.kdata, false)     // PD descriptor lookup
+	c.kctx.Exec(hcBaseCost[num] + 14) // vector + dispatch table + handler
+	c.kctx.Touch(pd.kdata, false)     // PD descriptor lookup
 
 	var ret uint32
 	switch {
 	case num < NumHypercalls:
-		ret = k.guestCall(pd, num, args)
+		ret = k.guestCall(c, pd, num, args)
 	case num <= HcMgrAllocIRQ:
 		if pd.Caps&CapHwManager == 0 {
 			ret = StatusDenied
@@ -79,7 +79,7 @@ func (k *Kernel) onSWI(num int, args [4]uint32) uint32 {
 	return ret
 }
 
-func (k *Kernel) guestCall(pd *PD, num int, args [4]uint32) uint32 {
+func (k *Kernel) guestCall(c *CoreCtx, pd *PD, num int, args [4]uint32) uint32 {
 	switch num {
 	case HcNull:
 		return StatusOK
@@ -93,8 +93,8 @@ func (k *Kernel) guestCall(pd *PD, num int, args [4]uint32) uint32 {
 		return uint32(pd.ID)
 
 	case HcYield:
-		k.quantumExpired = true
-		k.needResched = true
+		c.quantumExpired = true
+		c.needResched = true
 		return StatusOK
 
 	case HcTimerSet:
@@ -114,7 +114,7 @@ func (k *Kernel) guestCall(pd *PD, num int, args [4]uint32) uint32 {
 		if !pd.VGIC.Enable(irq) {
 			return StatusDenied
 		}
-		if physicalLine(irq) && pd == k.Current {
+		if physicalLine(irq) && pd == c.Current {
 			k.GIC.Enable(irq)
 			k.Clock.Advance(CostDeviceAccess)
 		}
@@ -138,11 +138,11 @@ func (k *Kernel) guestCall(pd *PD, num int, args [4]uint32) uint32 {
 		return StatusOK
 
 	case HcCacheFlush:
-		k.CPU.CP15Write(cpu.CP15DCCISW, 0)
+		c.CPU.CP15Write(cpu.CP15DCCISW, 0)
 		return StatusOK
 
 	case HcTLBFlush:
-		k.CPU.CP15Write(cpu.CP15TLBIASID, uint32(pd.ASID))
+		c.CPU.CP15Write(cpu.CP15TLBIASID, uint32(pd.ASID))
 		return StatusOK
 
 	case HcMapPage:
@@ -158,7 +158,7 @@ func (k *Kernel) guestCall(pd *PD, num int, args [4]uint32) uint32 {
 		guestKernelCtx := args[0] != 0
 		d := dacrFor(guestKernelCtx)
 		pd.VCPU.DACR = d
-		k.CPU.CP15Write(cpu.CP15DACR, d)
+		c.CPU.CP15Write(cpu.CP15DACR, d)
 		return StatusOK
 
 	case HcHwTaskRequest:
@@ -225,7 +225,7 @@ func (k *Kernel) hcTimerSet(pd *PD, period simclock.Cycles) uint32 {
 	k.parkVirtualTimer(pd)
 	pd.VCPU.TimerPeriod = period
 	pd.timerRemaining = period
-	if pd == k.Current {
+	if pd == pd.Core.Current {
 		k.armVirtualTimer(pd)
 	}
 	return StatusOK
@@ -240,7 +240,7 @@ func (k *Kernel) hcMapPage(pd *PD, va, offset uint32) uint32 {
 	}
 	pd.Table.MapPage(va, pd.RAMBase+physmem.Addr(offset), DomainGuestUser, mmu.APFull)
 	k.chargePTEdit(pd, va)
-	k.CPU.CP15Write(cpu.CP15TLBIMVA, va)
+	pd.Core.CPU.CP15Write(cpu.CP15TLBIMVA, va)
 	return StatusOK
 }
 
@@ -250,7 +250,7 @@ func (k *Kernel) hcUnmapPage(pd *PD, va uint32) uint32 {
 	}
 	pd.Table.UnmapPage(va)
 	k.chargePTEdit(pd, va)
-	k.CPU.CP15Write(cpu.CP15TLBIMVA, va)
+	pd.Core.CPU.CP15Write(cpu.CP15TLBIMVA, va)
 	return StatusOK
 }
 
@@ -258,9 +258,19 @@ func (k *Kernel) hcUnmapPage(pd *PD, va uint32) uint32 {
 // the cost the paper attributes to the virtualized manager ("switching to
 // the kernel space to update the target VM's page table").
 func (k *Kernel) chargePTEdit(pd *PD, va uint32) {
+	kctx := k.editCtx()
 	for range pd.Table.DescriptorAddrs(va) {
-		k.kctx.Touch(0xF020_0000+(va>>12&0x3FF)*4, true)
+		kctx.Touch(0xF020_0000+(va>>12&0x3FF)*4, true)
 	}
+}
+
+// editCtx returns the kernel execution context of the core the kernel is
+// executing on right now (core 0 outside any scheduling window).
+func (k *Kernel) editCtx() *cpu.ExecContext {
+	if k.active != nil {
+		return k.active.kctx
+	}
+	return k.Cores[0].kctx
 }
 
 // hcRegionCreate registers [va, va+size) as the caller's hardware-task
@@ -310,7 +320,7 @@ func (k *Kernel) hcHwTaskRequest(pd *PD, kind HwRequestKind, args [4]uint32) uin
 	}
 	k.hwQueue = append(k.hwQueue, req)
 	k.hwByID[req.ID] = req
-	k.kctx.Touch(KernelDataVA+0x9000+(req.ID%64)*16, true) // queue slot
+	k.editCtx().Touch(KernelDataVA+0x9000+(req.ID%64)*16, true) // queue slot
 
 	// Arm the Table III "HW Manager entry" probe: from this hypercall
 	// (exception entry) to the manager fetching the request. When several
@@ -349,7 +359,7 @@ func (k *Kernel) hcIPCSend(pd *PD, dst int, word uint32) uint32 {
 		return StatusBusy
 	}
 	to.mbox = append(to.mbox, ipcMsg{sender: pd.ID, word: word})
-	k.kctx.Touch(to.kdata+0x80, true)
+	k.editCtx().Touch(to.kdata+0x80, true)
 	if to.recvBlocked {
 		to.recvBlocked = false
 		k.wake(to)
@@ -368,7 +378,7 @@ func (k *Kernel) hcIPCRecv(pd *PD, blocking bool) uint32 {
 	}
 	m := pd.mbox[0]
 	pd.mbox = pd.mbox[1:]
-	k.kctx.Touch(pd.kdata+0x80, false)
+	k.editCtx().Touch(pd.kdata+0x80, false)
 	return uint32(m.sender)<<24 | m.word&0xFF_FFFF
 }
 
@@ -436,7 +446,7 @@ func (k *Kernel) mgrNextRequest(pd *PD) uint32 {
 	}
 	req := k.hwQueue[0]
 	k.hwQueue = k.hwQueue[1:]
-	k.kctx.Touch(KernelDataVA+0x9000+(req.ID%64)*16, false)
+	k.editCtx().Touch(KernelDataVA+0x9000+(req.ID%64)*16, false)
 	if k.mgrEntryArmed {
 		k.Probes.Add(measure.PhaseMgrEntry, k.Clock.Now()-k.mgrEntryFrom)
 		k.mgrEntryArmed = false
@@ -511,8 +521,8 @@ func (k *Kernel) mgrMapIface(reqID uint32, prr int) uint32 {
 	client := req.PD
 	client.Table.MapPage(va, k.Fabric.GroupBase(prr), DomainGuestUser, mmu.APFull)
 	k.chargePTEdit(client, va)
-	k.CPU.TLB.FlushVA(va, client.ASID)
-	k.CPU.CP15Write(cpu.CP15TLBIMVA, va)
+	client.Core.CPU.TLB.FlushVA(va, client.ASID)
+	client.Core.CPU.CP15Write(cpu.CP15TLBIMVA, va)
 	if client.ifaceVA == nil {
 		client.ifaceVA = map[int]uint32{}
 	}
@@ -543,12 +553,12 @@ func (k *Kernel) mgrUnmapIface(pdID, prr int) uint32 {
 		for i, r := range regs {
 			_ = k.Bus.Write32(base+physmem.Addr(4+i*4), r)
 		}
-		k.kctx.Exec(20)
+		k.editCtx().Exec(20)
 		k.Clock.Advance(9 * 2) // 9 word stores through the write buffer
 	}
 	client.Table.UnmapPage(va)
 	k.chargePTEdit(client, va)
-	k.CPU.TLB.FlushVA(va, client.ASID)
+	client.Core.CPU.TLB.FlushVA(va, client.ASID)
 	delete(client.ifaceVA, prr)
 	// Withdraw the interrupt line.
 	if line := k.Fabric.PRRs[prr].IRQLine; line >= 0 {
@@ -598,6 +608,7 @@ func (k *Kernel) mgrPCAPStart(reqID, srcOff, length uint32, prr uint32) uint32 {
 		return StatusInval
 	}
 	k.pcapOwner = req.PD
+	k.GIC.SetTarget(gic.PCAPIRQ, req.PD.Core.ID)
 	req.PD.VGIC.Register(gic.PCAPIRQ)
 	req.PD.VGIC.Enable(gic.PCAPIRQ)
 	dc := physmem.Addr(0xF800_7000)
@@ -620,9 +631,10 @@ func (k *Kernel) mgrAllocIRQ(reqID uint32, prr int) uint32 {
 		// Line already allocated (region reuse): re-point ownership.
 		irq := gic.PLIRQBase + line
 		k.plirqOwner[line] = req.PD
+		k.GIC.SetTarget(irq, req.PD.Core.ID)
 		req.PD.VGIC.Register(irq)
 		req.PD.VGIC.Enable(irq)
-		if req.PD == k.Current {
+		if req.PD == req.PD.Core.Current {
 			k.GIC.Enable(irq)
 		}
 		return uint32(irq)
@@ -633,10 +645,11 @@ func (k *Kernel) mgrAllocIRQ(reqID uint32, prr int) uint32 {
 	}
 	line := irq - gic.PLIRQBase
 	k.plirqOwner[line] = req.PD
+	k.GIC.SetTarget(irq, req.PD.Core.ID)
 	req.PD.VGIC.Register(irq)
 	req.PD.VGIC.Enable(irq)
 	k.GIC.SetPriority(irq, 0x60)
-	if req.PD == k.Current {
+	if req.PD == req.PD.Core.Current {
 		k.GIC.Enable(irq)
 	}
 	k.Clock.Advance(2 * CostDeviceAccess)

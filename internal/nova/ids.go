@@ -4,14 +4,16 @@
 // dynamically partially reconfigured (DPR) hardware tasks to virtual
 // machines.
 //
-// The kernel runs in the simulated CPU's SVC mode and owns the exception
-// vector table; guests run de-privileged in USR mode and reach the kernel
-// through hypercalls (SWI), undefined-instruction traps and aborts,
-// exactly as §III of the paper lays out. The four microkernel properties
-// of §III — CPU virtualization (vcpu.go), memory management (memory.go),
-// communication (ipc.go, hypercall.go) and scheduling (sched.go) — plus
-// the virtual interrupt layer (vgic.go) are tied together by the Kernel
-// object (kernel.go).
+// The kernel runs in each simulated core's SVC mode and owns the
+// exception vector tables; guests run de-privileged in USR mode and reach
+// the kernel through hypercalls (SWI), undefined-instruction traps and
+// aborts, exactly as §III of the paper lays out. The four microkernel
+// properties of §III — CPU virtualization (vcpu.go), memory management
+// (memory.go), communication (ipc.go, hypercall.go) and scheduling
+// (delegated to the pluggable internal/sched subsystem) — plus the
+// virtual interrupt layer (vgic.go) are tied together by the Kernel
+// object (kernel.go), which owns one CoreCtx (core.go) per simulated
+// Cortex-A9 core.
 package nova
 
 import "fmt"
@@ -85,6 +87,11 @@ const (
 // DefaultQuantum is the guest time slice: "Mini-NOVA provides each guest
 // OS with a time slice of 33 ms" (§V-B).
 const DefaultQuantumMs = 33
+
+// SGIReschedule is the software-generated interrupt a core raises on a
+// peer's GIC interface to demand a reschedule there (cross-core wake of a
+// higher-priority PD — the kernel's only IPI).
+const SGIReschedule = 1
 
 // Domains used in every VM's page table (per-space numbering; the kernel
 // domain is shared/global).

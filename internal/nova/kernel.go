@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/gic"
 	"repro/internal/measure"
 	"repro/internal/mmu"
 	"repro/internal/physmem"
 	"repro/internal/pl"
+	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/timer"
 )
@@ -42,27 +44,43 @@ var killSentinel = killSentinelType{}
 
 // Kernel is the Mini-NOVA microkernel instance: the abstraction layer
 // between the simulated Zynq PS/PL hardware and the protection domains it
-// hosts (paper Fig. 1).
+// hosts (paper Fig. 1). The kernel owns one CoreCtx per simulated
+// Cortex-A9 core — the paper's evaluation pins everything on CPU0
+// (NewKernel), while NewKernelSMP(2) models the full dual-core part with
+// per-core runqueues and SGI-based cross-core reschedule.
 type Kernel struct {
-	Clock     *simclock.Clock
-	Bus       *physmem.Bus
-	CPU       *cpu.CPU
-	GIC       *gic.GIC
-	PrivTimer *timer.PrivateTimer
-	Fabric    *pl.Fabric // nil until AttachFabric
-	Alloc     *mmu.FrameAllocator
-	Sched     *Scheduler
-	Probes    *measure.Set
+	Clock *simclock.Clock
+	Bus   *physmem.Bus
+	GIC   *gic.GIC
 
-	PDs     []*PD
-	Current *PD
+	// Cores are the simulated CPUs; CPU aliases Cores[0].CPU for the
+	// single-core call sites and reports.
+	Cores []*CoreCtx
+	CPU   *cpu.CPU
+
+	Fabric *pl.Fabric // nil until AttachFabric
+	Alloc  *mmu.FrameAllocator
+
+	// Sched is the pluggable scheduling policy (per-CPU runqueues). The
+	// kernel depends on the interface only; replace it before creating
+	// any PD (its CPU count must match len(Cores)).
+	Sched  sched.Policy
+	Probes *measure.Set
+
+	PDs []*PD
+
+	// SMPSlice bounds one core's activation window when more than one
+	// core is simulated, keeping the interleaved cores advancing together
+	// on the shared clock. Cross-core wakes break the window early, so
+	// this is a fairness backstop, not the IPI latency.
+	SMPSlice simclock.Cycles
 
 	kernelPT *mmu.PageTable
-	kctx     *cpu.ExecContext
 
-	needResched    bool
-	quantumExpired bool
-	running        bool
+	// active is the core whose scheduling window is executing right now.
+	active *CoreCtx
+
+	running bool
 
 	yieldCh chan yieldReason
 	// dying is closed by Shutdown; every coroutine handoff selects on it
@@ -94,10 +112,6 @@ type Kernel struct {
 	// sd is the simulated SD card (block number -> 512-byte block).
 	sd map[uint32][]byte
 
-	// vfpOwnerPD is the PD whose VFP context is live in hardware (lazy
-	// switch state, Table I).
-	vfpOwnerPD *PD
-
 	// EagerVFP disables the lazy-switch policy of Table I: the full VFP
 	// context is saved and restored on every world switch (ablation).
 	EagerVFP bool
@@ -110,49 +124,70 @@ type Kernel struct {
 	asidNext uint8
 }
 
-// NewKernel boots a Mini-NOVA kernel on a fresh machine: clock, bus, GIC,
-// CPU, private timer, kernel page table, and the exception vector table.
-func NewKernel() *Kernel {
+// NewKernel boots a Mini-NOVA kernel on a fresh single-core machine — the
+// paper's CPU0-only configuration.
+func NewKernel() *Kernel { return NewKernelSMP(1) }
+
+// NewKernelSMP boots a Mini-NOVA kernel on a machine with ncores
+// simulated Cortex-A9 cores: shared clock, bus and L2, per-core L1
+// caches, TLBs, private timers and GIC CPU interfaces — the dual-core
+// Zynq-7000 at ncores == 2.
+func NewKernelSMP(ncores int) *Kernel {
+	if ncores < 1 {
+		panic("nova: need at least one core")
+	}
 	clock := simclock.New()
 	bus := physmem.NewBus()
-	g := gic.New()
-	c := cpu.New(clock, bus, g)
+	g := gic.NewMP(ncores)
 	k := &Kernel{
-		Clock:     clock,
-		Bus:       bus,
-		CPU:       c,
-		GIC:       g,
-		PrivTimer: timer.New(clock, g),
-		Alloc:     mmu.NewFrameAllocator(physTables, 8<<20),
-		Sched:     NewScheduler(simclock.FromMillis(DefaultQuantumMs)),
-		Probes:    measure.NewSet(),
-		hwByID:    make(map[uint32]*HwRequest),
-		yieldCh:   make(chan yieldReason),
-		dying:     make(chan struct{}),
-		sd:        make(map[uint32][]byte),
-		asidNext:  1,
+		Clock:    clock,
+		Bus:      bus,
+		GIC:      g,
+		Alloc:    mmu.NewFrameAllocator(physTables, 8<<20),
+		Sched:    sched.NewPrioRR(ncores, simclock.FromMillis(DefaultQuantumMs)),
+		Probes:   measure.NewSet(),
+		SMPSlice: simclock.FromMillis(1),
+		hwByID:   make(map[uint32]*HwRequest),
+		yieldCh:  make(chan yieldReason),
+		dying:    make(chan struct{}),
+		sd:       make(map[uint32][]byte),
+		asidNext: 1,
 	}
-	// Kernel address space: global mappings only; ASID 0.
+	// Kernel address space: global mappings only; ASID 0. One table,
+	// shared by every core (§III-C: kernel mappings are global).
 	k.kernelPT = mmu.NewPageTable(bus, k.Alloc)
 	mapKernelInto(k.kernelPT)
-	c.Mode = cpu.ModeSVC
-	c.CP15Write(cpu.CP15TTBR0, uint32(k.kernelPT.Base))
-	c.CP15Write(cpu.CP15CONTEXTIDR, 0)
-	c.CP15Write(cpu.CP15DACR, dacrFor(true))
-	c.CP15Write(cpu.CP15SCTLR, 1)
 
-	k.kctx = cpu.NewExecContext(c, "mininova", KernelCodeVA, KernelCodeSize)
+	hier := cache.NewA9SharedL2(ncores)
+	for i := 0; i < ncores; i++ {
+		c := &CoreCtx{
+			ID:    i,
+			CPU:   cpu.NewCore(clock, bus, g, i, hier[i]),
+			Timer: timer.NewFor(clock, g, i),
+		}
+		c.CPU.Mode = cpu.ModeSVC
+		c.CPU.CP15Write(cpu.CP15TTBR0, uint32(k.kernelPT.Base))
+		c.CPU.CP15Write(cpu.CP15CONTEXTIDR, 0)
+		c.CPU.CP15Write(cpu.CP15DACR, dacrFor(true))
+		c.CPU.CP15Write(cpu.CP15SCTLR, 1)
+		c.kctx = cpu.NewExecContext(c.CPU, fmt.Sprintf("mininova/cpu%d", i), KernelCodeVA, KernelCodeSize)
 
-	// Vector table.
-	c.Vectors.SWI = k.onSWI
-	c.Vectors.IRQ = k.onIRQ
-	c.Vectors.Undef = k.onUndef
-	c.Vectors.DataAbort = k.onAbort
-	c.Vectors.PrefetchAbort = k.onAbort
+		// Vector table (banked per core; handlers close over the core).
+		c.CPU.Vectors.SWI = func(num int, args [4]uint32) uint32 { return k.onSWI(c, num, args) }
+		c.CPU.Vectors.IRQ = func() { k.onIRQ(c) }
+		c.CPU.Vectors.Undef = func(u cpu.UndefInfo) bool { return k.onUndef(c, u) }
+		c.CPU.Vectors.DataAbort = func(f *mmu.Fault) bool { return k.onAbort(c, f) }
+		c.CPU.Vectors.PrefetchAbort = func(f *mmu.Fault) bool { return k.onAbort(c, f) }
+		k.Cores = append(k.Cores, c)
+	}
+	k.CPU = k.Cores[0].CPU
 
-	// Kernel-owned interrupts.
+	// Kernel-owned interrupts. Banked ids enable on every core's
+	// interface (each core's private timer drives its own quantum).
 	g.Enable(gic.PrivateTimerIRQ)
 	g.SetPriority(gic.PrivateTimerIRQ, 0x10)
+	g.Enable(SGIReschedule)
+	g.SetPriority(SGIReschedule, 0x08)
 	g.Enable(gic.PCAPIRQ)
 	g.SetPriority(gic.PCAPIRQ, 0x30)
 	return k
@@ -168,6 +203,10 @@ type PDConfig struct {
 	Priority int
 	Caps     Capability
 	Guest    Guest
+	// Affinity restricts which cores may host the PD (zero = any). The
+	// scheduling policy chooses the home core from this mask; the PD's
+	// vCPU, contexts and interrupt routing bind to that core.
+	Affinity sched.CPUMask
 	// CodeBase/CodeSize locate the guest's text inside its address space
 	// (defaults: GuestKernelBase, 64 KB).
 	CodeBase uint32
@@ -179,7 +218,8 @@ type PDConfig struct {
 }
 
 // CreatePD builds a protection domain: address space, vCPU, vGIC, and the
-// guest's execution context, then places it in the run or suspend queue.
+// guest's execution context, then places it on its home core's run or
+// suspend queue.
 func (k *Kernel) CreatePD(cfg PDConfig) *PD {
 	if cfg.CodeBase == 0 {
 		cfg.CodeBase = GuestKernelBase
@@ -203,12 +243,14 @@ func (k *Kernel) CreatePD(cfg PDConfig) *PD {
 		kdata:    KernelDataVA + uint32(id)*0x400,
 	}
 	k.asidNext++
+	pd.node = sched.NewNode(pd, cfg.Priority, cfg.Affinity)
+	pd.Core = k.Cores[k.Sched.Place(&pd.node)]
 	pd.VCPU.TTBR = uint32(pd.Table.Base)
 	pd.VCPU.ASID = pd.ASID
 	pd.VCPU.DACR = dacrFor(true) // guests boot in guest-kernel context
 	pd.VCPU.QuantumLeft = k.Sched.Quantum()
 
-	ctx := cpu.NewExecContext(k.CPU, cfg.Name, cfg.CodeBase, cfg.CodeSize)
+	ctx := cpu.NewExecContext(pd.Core.CPU, cfg.Name, cfg.CodeBase, cfg.CodeSize)
 	pd.Env = &Env{K: k, PD: pd, Ctx: ctx}
 
 	pd.resumeCh = make(chan resumeCmd)
@@ -217,7 +259,7 @@ func (k *Kernel) CreatePD(cfg PDConfig) *PD {
 
 	k.PDs = append(k.PDs, pd)
 	if !cfg.StartSuspended {
-		k.Sched.Enqueue(pd)
+		k.Sched.Enqueue(&pd.node)
 	}
 	return pd
 }
@@ -250,9 +292,9 @@ func (k *Kernel) guestWrapper(pd *PD) {
 		return
 	}
 	pd.Guest.RunSlice(pd.Env)
-	// Guest finished: retire the PD.
+	// Guest finished: retire the PD and release its scheduler placement.
 	pd.dead = true
-	k.Sched.Dequeue(pd)
+	k.Sched.Unplace(&pd.node)
 	for {
 		select {
 		case k.yieldCh <- yieldExited:
@@ -274,11 +316,12 @@ func (k *Kernel) guestWrapper(pd *PD) {
 // guests (e.g. ucos task goroutines) can unwind with the kernel.
 func (k *Kernel) Dying() <-chan struct{} { return k.dying }
 
-// yield hands the CPU from the active PD's goroutine back to the kernel
+// yield hands the core from the active PD's goroutine back to the kernel
 // loop, preserving the architectural mode across the switch-out.
 func (e *Env) yield(r yieldReason) {
 	k := e.K
-	savedMode, savedMask := k.CPU.Mode, k.CPU.IRQMasked
+	c := e.PD.Core.CPU
+	savedMode, savedMask := c.Mode, c.IRQMasked
 	select {
 	case k.yieldCh <- r:
 	case <-k.dying:
@@ -292,14 +335,14 @@ func (e *Env) yield(r yieldReason) {
 	case <-k.dying:
 		panic(killSentinel)
 	}
-	k.CPU.Mode, k.CPU.IRQMasked = savedMode, savedMask
+	c.Mode, c.IRQMasked = savedMode, savedMask
 }
 
 // CheckPreempt is the guest's chunk-boundary poll: deliver pending vIRQs,
-// then give up the CPU if the kernel asked for it.
+// then give up the core if the kernel asked for it.
 func (e *Env) CheckPreempt() {
 	e.PendingVIRQ()
-	if e.K.needResched {
+	if e.PD.Core.needResched {
 		e.yield(yieldPreempt)
 		e.PendingVIRQ()
 	}
@@ -308,81 +351,34 @@ func (e *Env) CheckPreempt() {
 // Block suspends the calling PD until another event re-enqueues it. Used
 // by kernel handlers running in the caller's goroutine.
 func (e *Env) block() {
-	e.K.Sched.Dequeue(e.PD)
-	e.K.needResched = true
+	e.K.Sched.Dequeue(&e.PD.node)
+	e.PD.Core.needResched = true
 	e.yield(yieldBlocked)
 }
 
-// activate hands the CPU to pd and waits for it to yield.
-func (k *Kernel) activate(pd *PD) yieldReason {
-	pd.resumeCh <- resumeCmd{}
-	r := <-k.yieldCh
-	// Kernel loop regains the CPU in SVC, IRQs masked.
-	k.CPU.Mode, k.CPU.IRQMasked = cpu.ModeSVC, true
-	return r
-}
-
-// Run executes the system until the given absolute simulated time.
+// Run executes the system until the given absolute simulated time,
+// interleaving the cores' scheduling windows on the shared clock.
 func (k *Kernel) Run(until simclock.Cycles) {
 	k.running = true
 	defer func() { k.running = false }()
 	for k.Clock.Now() < until {
-		pd := k.Sched.Pick()
-		if pd == nil {
-			k.idleUntil(until)
-			continue
-		}
-		if pd.dead {
-			k.Sched.Dequeue(pd)
-			continue
-		}
-		k.worldSwitch(pd)
-		k.needResched = false
-		k.quantumExpired = false
-		if pd.VCPU.QuantumLeft == 0 {
-			pd.VCPU.QuantumLeft = k.Sched.Quantum()
-		}
-		k.PrivTimer.Start(pd.VCPU.QuantumLeft, true)
-		// Bound the activation by the caller's horizon so Run(until)
-		// returns on time even mid-quantum.
-		stop := k.Clock.At(until, func(simclock.Cycles) { k.needResched = true })
-
-		start := k.Clock.Now()
-		k.CPU.Mode, k.CPU.IRQMasked = cpu.ModeUSR, false
-		k.activate(pd)
-		elapsed := k.Clock.Now() - start
-		k.PrivTimer.Stop()
-		k.Clock.Cancel(stop)
-
-		if k.quantumExpired || elapsed >= pd.VCPU.QuantumLeft {
-			// Slice fully consumed: fresh quantum next time, go to the back
-			// of the priority circle (round-robin, §III-D).
-			pd.VCPU.QuantumLeft = 0
-			if k.Sched.InRunQueue(pd) {
-				k.Sched.Rotate(pd.Priority)
+		ran := false
+		for _, c := range k.Cores {
+			if k.Clock.Now() >= until {
+				break
 			}
-		} else {
-			// Preempted early: carry the remaining quantum (§III-D).
-			pd.VCPU.QuantumLeft -= elapsed
+			if k.runCore(c, until) {
+				ran = true
+			}
+		}
+		if !ran && k.Clock.Now() < until {
+			k.idleUntil(until)
 		}
 	}
 }
 
 // RunFor advances the system by d cycles.
 func (k *Kernel) RunFor(d simclock.Cycles) { k.Run(k.Clock.Now() + d) }
-
-// idleUntil advances to the next event (or until) with interrupts open —
-// the kernel's WFI loop.
-func (k *Kernel) idleUntil(until simclock.Cycles) {
-	target := until
-	if d, ok := k.Clock.NextDeadline(); ok && d < target {
-		target = d
-	}
-	k.Clock.AdvanceTo(target)
-	k.CPU.IRQMasked = false
-	k.CPU.PollIRQ()
-	k.CPU.IRQMasked = true
-}
 
 // Shutdown terminates every guest goroutine (including goroutines nested
 // inside guests that observe Dying). The kernel is unusable afterwards;
@@ -402,9 +398,9 @@ func (k *Kernel) Shutdown() {
 // PD's descriptor + vCPU (vcpuActiveWords words). Distinct PDs occupy
 // distinct kernel-data lines, so more VMs means a larger switch-path
 // working set — one of Table III's two growth mechanisms.
-func (k *Kernel) touchPDState(pd *PD, write bool) {
+func (k *Kernel) touchPDState(c *CoreCtx, pd *PD, write bool) {
 	for i := uint32(0); i < vcpuActiveWords; i++ {
-		k.kctx.Touch(pd.kdata+i*4, write)
+		c.kctx.Touch(pd.kdata+i*4, write)
 	}
 }
 
@@ -433,7 +429,7 @@ func (k *Kernel) armVirtualTimer(pd *PD) {
 		}
 		pd.VGIC.Inject(gic.PrivateTimerIRQ)
 		k.wakeIfIdle(pd)
-		if k.Current == pd || pd.idleWaiting {
+		if pd.Core.Current == pd || pd.idleWaiting {
 			k.armVirtualTimer(pd)
 		}
 	})
@@ -454,26 +450,26 @@ func (k *Kernel) parkVirtualTimer(pd *PD) {
 	pd.timerEvent = nil
 }
 
-// worldSwitch performs the full VM switch of §III-A/B/C: save the
-// outgoing vCPU, read back and mask its interrupt set, restore the
+// worldSwitch performs the full VM switch of §III-A/B/C on core c: save
+// the outgoing vCPU, read back and mask its interrupt set, restore the
 // incoming vCPU (TTBR/ASID/DACR via CP15 — the address-space switch),
 // unmask its enabled interrupts, and arm lazy VFP.
-func (k *Kernel) worldSwitch(next *PD) {
-	if k.Current == next {
+func (k *Kernel) worldSwitch(c *CoreCtx, next *PD) {
+	if c.Current == next {
 		return
 	}
 	t0 := k.Clock.Now()
-	k.kctx.Exec(48) // scheduler pick + switch trampoline
+	c.kctx.Exec(48) // scheduler pick + switch trampoline
 
-	prev := k.Current
+	prev := c.Current
 	if prev != nil {
-		prev.VCPU.SaveActive(k.CPU)
+		prev.VCPU.SaveActive(c.CPU)
 		if !prev.idleWaiting {
 			// An idle-waiting VM keeps its virtual timer live so its next
 			// tick can wake it (guest WFI semantics).
 			k.parkVirtualTimer(prev)
 		}
-		k.touchPDState(prev, true)
+		k.touchPDState(c, prev, true)
 		// Mask the outgoing VM's hardware lines. The 16 PL_IRQs share one
 		// distributor enable word, so the whole set costs a single
 		// GICD_ICENABLER write regardless of how many lines the VM holds.
@@ -485,13 +481,13 @@ func (k *Kernel) worldSwitch(next *PD) {
 			}
 		}
 		if masked {
-			k.kctx.Exec(8)
+			c.kctx.Exec(8)
 			k.Clock.Advance(CostDeviceAccess)
 		}
 	}
 
-	k.touchPDState(next, false)
-	next.VCPU.RestoreActive(k.CPU) // CP15 writes: TTBR, ASID, DACR
+	k.touchPDState(c, next, false)
+	next.VCPU.RestoreActive(c.CPU) // CP15 writes: TTBR, ASID, DACR
 	unmasked := false
 	for _, irq := range next.VGIC.EnabledLines() {
 		if physicalLine(irq) {
@@ -500,68 +496,63 @@ func (k *Kernel) worldSwitch(next *PD) {
 		}
 	}
 	if unmasked {
-		k.kctx.Exec(8)
+		c.kctx.Exec(8)
 		k.Clock.Advance(CostDeviceAccess)
 	}
 	if k.EagerVFP {
 		// Ablation: unconditional VFP save + restore on every switch.
 		k.Clock.Advance(2 * cpu.VFPContextCost())
-		k.CPU.VFPEnabled = true
+		c.CPU.VFPEnabled = true
 	} else {
 		// Lazy switch (Table I): VFP stays with its owner until touched.
-		k.CPU.VFPEnabled = false
+		c.CPU.VFPEnabled = false
 	}
 	if k.FlushTLBOnSwitch {
-		k.CPU.CP15Write(cpu.CP15TLBIALL, 0)
+		c.CPU.CP15Write(cpu.CP15TLBIALL, 0)
 	}
-	k.kctx.Exec(24) // exception return path
+	c.kctx.Exec(24) // exception return path
 
-	k.Current = next
+	c.Current = next
 	k.armVirtualTimer(next)
 	next.Switches++
-	now := k.Clock.Now()
-	k.Probes.Add(measure.PhaseVMSwitch, now-t0)
-	if k.mgrExitArmed && next != k.hwSvc {
-		k.Probes.Add(measure.PhaseMgrExit, now-k.mgrExitFrom)
-		k.mgrExitArmed = false
-	}
+	k.Probes.Add(measure.PhaseVMSwitch, k.Clock.Now()-t0)
 }
 
 // onUndef handles undefined-instruction traps: privileged-op emulation and
 // the lazy VFP switch of Table I.
-func (k *Kernel) onUndef(u cpu.UndefInfo) bool {
-	k.kctx.Exec(20)
+func (k *Kernel) onUndef(c *CoreCtx, u cpu.UndefInfo) bool {
+	c.kctx.Exec(20)
 	switch u.Kind {
 	case cpu.UndefVFP:
-		return k.lazyVFPSwitch()
+		return k.lazyVFPSwitch(c)
 	case cpu.UndefCP15:
 		// A guest touched a privileged system register directly. Mini-NOVA
 		// emulates harmless reads and rejects writes (guests must use
 		// hypercalls, §III-A).
-		k.kctx.Exec(30)
+		c.kctx.Exec(30)
 		return !u.Wr
 	default:
 		return false
 	}
 }
 
-func (k *Kernel) lazyVFPSwitch() bool {
-	cur := k.Current
+func (k *Kernel) lazyVFPSwitch(c *CoreCtx) bool {
+	cur := c.Current
 	if cur == nil {
-		k.CPU.VFPEnabled = true
+		c.CPU.VFPEnabled = true
 		return true
 	}
 	// Save the previous owner's context, restore the current PD's.
-	if k.vfpOwnerPD != nil && k.vfpOwnerPD != cur {
+	if c.vfpOwner != nil && c.vfpOwner != cur {
 		k.Clock.Advance(cpu.VFPContextCost())
-		k.vfpOwnerPD.VCPU.VFPValid = true
+		c.vfpOwner.VCPU.VFPValid = true
 	}
 	if cur.VCPU.VFPValid {
 		k.Clock.Advance(cpu.VFPContextCost())
 	}
-	k.vfpOwnerPD = cur
-	k.CPU.VFPEnabled = true
-	k.kctx.Exec(25)
+	c.vfpOwner = cur
+	c.CPU.VFPEnabled = true
+	c.kctx.Exec(25)
 	return true
 }
 
@@ -569,33 +560,40 @@ func (k *Kernel) lazyVFPSwitch() bool {
 // guest's business (delivered as a vIRQ-like upcall is out of scope —
 // Mini-NOVA kills the offender per "a permission-denied error will
 // occur"); the kernel only logs and refuses.
-func (k *Kernel) onAbort(f *mmu.Fault) bool {
-	k.kctx.Exec(40)
-	if k.Current != nil {
-		k.Current.Faults++
+func (k *Kernel) onAbort(c *CoreCtx, f *mmu.Fault) bool {
+	c.kctx.Exec(40)
+	if c.Current != nil {
+		c.Current.Faults++
 	}
 	return false
 }
 
-// onIRQ is the physical interrupt path of §III-B/§IV-D: acknowledge at
-// the GIC, EOI, then route — quantum timer to the scheduler, PCAP to the
-// launching VM, PL lines to their owning VM's vGIC.
-func (k *Kernel) onIRQ() {
+// onIRQ is the physical interrupt path of §III-B/§IV-D on one core:
+// acknowledge at that core's GIC interface, EOI, then route — quantum
+// timer to the core's scheduler, reschedule SGI to the core's resched
+// flag, PCAP to the launching VM, PL lines to their owning VM's vGIC.
+func (k *Kernel) onIRQ(c *CoreCtx) {
 	t0 := k.Clock.Now() - cpu.CostExceptionEntry
-	k.kctx.Exec(26) // vector + IRQ-mode entry + GIC interface read
+	c.kctx.Exec(26) // vector + IRQ-mode entry + GIC interface read
 	k.Clock.Advance(2 * CostDeviceAccess)
-	id := k.GIC.Acknowledge()
+	id := k.GIC.Acknowledge(c.ID)
 	if id == gic.SpuriousID {
 		return
 	}
-	k.GIC.EOI(id)
+	k.GIC.EOI(c.ID, id)
 	switch {
 	case id == gic.PrivateTimerIRQ:
-		k.kctx.Exec(14)
-		k.quantumExpired = true
-		k.needResched = true
+		c.kctx.Exec(14)
+		c.quantumExpired = true
+		c.needResched = true
+	case id == SGIReschedule:
+		// A peer core demanded a reschedule (cross-core wake, §III-D
+		// generalized): re-enter the scheduler at the next boundary
+		// without charging the current PD's quantum.
+		c.kctx.Exec(12)
+		c.needResched = true
 	case id == gic.PCAPIRQ:
-		k.kctx.Exec(18)
+		c.kctx.Exec(18)
 		if k.pcapOwner != nil {
 			if k.pcapOwner.VGIC.Inject(id) {
 				k.wakeIfIdle(k.pcapOwner)
@@ -603,23 +601,23 @@ func (k *Kernel) onIRQ() {
 			}
 		}
 	case physicalLine(id):
-		k.kctx.Exec(22)
-		k.kctx.Touch(KernelDataVA+0x8000+uint32(id)*8, false) // routing table
+		c.kctx.Exec(22)
+		c.kctx.Touch(KernelDataVA+0x8000+uint32(id)*8, false) // routing table
 		if pd := k.plirqOwner[id-gic.PLIRQBase]; pd != nil {
 			// Distribution walks the owner VM's vGIC record list (Fig. 2)
 			// and updates the virtual IRQ state — per-VM kernel data that
 			// gets colder as more VMs rotate through the caches.
 			for i := uint32(0); i < 8; i++ {
-				k.kctx.Touch(pd.kdata+0x100+i*8, i >= 6)
+				c.kctx.Touch(pd.kdata+0x100+i*8, i >= 6)
 			}
-			k.kctx.Exec(14)
+			c.kctx.Exec(14)
 			if pd.VGIC.Inject(id) {
 				k.wakeIfIdle(pd)
 				k.Probes.Add(measure.PhasePLIRQEntry, k.Clock.Now()-t0)
 			}
 		}
 	default:
-		k.kctx.Exec(10)
+		c.kctx.Exec(10)
 	}
 }
 
@@ -631,20 +629,40 @@ func (k *Kernel) wakeIfIdle(pd *PD) {
 	}
 }
 
-// maybePreemptFor requests a reschedule when pd outranks the running PD.
+// maybePreemptFor requests a reschedule on pd's home core when pd
+// outranks what that core is running. A wake on the active core (or on a
+// single-core machine) just flags the core; a wake targeting a peer core
+// latches a reschedule SGI on that core's GIC interface and breaks the
+// active core's window so the interleaved loop reaches the peer promptly
+// — the model's inter-processor interrupt.
 func (k *Kernel) maybePreemptFor(pd *PD) {
-	if k.Current == nil || pd.Priority > k.Current.Priority {
-		k.needResched = true
+	target := pd.Core
+	// Only a runnable resident PD of equal or higher priority shields its
+	// core from the wake; a blocked one (including the woken PD itself,
+	// resident but just re-enqueued) will be rescheduled anyway.
+	cur := target.Current
+	if cur != nil && cur != pd && k.Sched.Queued(&cur.node) && pd.Priority <= cur.Priority {
+		return
+	}
+	if target == k.active || len(k.Cores) == 1 {
+		target.needResched = true
+		return
+	}
+	k.GIC.RaiseSGI(target.ID, SGIReschedule)
+	k.Clock.Advance(CostDeviceAccess) // GICD_SGIR write
+	if k.active != nil {
+		k.active.needResched = true
 	}
 }
 
-// wake moves a PD into the run queue and preempts if it outranks the
-// current one.
+// wake moves a PD into its home core's run queue and preempts if it
+// outranks that core's current PD.
 func (k *Kernel) wake(pd *PD) {
 	if pd.dead {
 		return
 	}
-	k.Sched.Enqueue(pd)
+	pd.node.Priority = pd.Priority
+	k.Sched.Enqueue(&pd.node)
 	k.maybePreemptFor(pd)
 }
 
@@ -663,5 +681,5 @@ func (k *Kernel) SDWriteImage(block uint32, data []byte) {
 }
 
 func (k *Kernel) String() string {
-	return fmt.Sprintf("mininova: %d PDs, %s", len(k.PDs), k.Clock.Now())
+	return fmt.Sprintf("mininova: %d cores, %d PDs, %s", len(k.Cores), len(k.PDs), k.Clock.Now())
 }

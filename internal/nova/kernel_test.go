@@ -550,7 +550,7 @@ func TestVCPUTable1(t *testing.T) {
 		spin(env, 1<<30)
 	}}})
 	k.RunFor(simclock.FromMillis(40)) // at least one rotation
-	cur := k.Current
+	cur := k.Cores[0].Current
 	if cur != a && cur != b {
 		t.Fatal("no current PD")
 	}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/mmu"
 	"repro/internal/physmem"
+	"repro/internal/sched"
 	"repro/internal/simclock"
 )
 
@@ -49,6 +50,11 @@ type PD struct {
 	Name_    string
 	Priority int
 	Caps     Capability
+
+	// Core is the PD's home core, chosen by the scheduling policy from
+	// the PD's affinity mask at creation. The vCPU, all of the guest's
+	// execution contexts, and the PD's interrupt routing bind to it.
+	Core *CoreCtx
 
 	VCPU VCPU
 	VGIC *VGIC
@@ -100,9 +106,9 @@ type PD struct {
 	doneCh   chan struct{}
 	dead     bool
 
-	// Scheduler links (intrusive priority ring).
-	next, prev *PD
-	inRunQueue bool
+	// node is the PD's handle on the scheduling subsystem (intrusive;
+	// lives on its home core's runqueue when runnable).
+	node sched.Node
 
 	// Statistics.
 	Switches   uint64
@@ -125,16 +131,18 @@ type Env struct {
 }
 
 // Hypercall issues SWI n with up to four arguments, as the paravirtualized
-// port layer does for every sensitive operation (§III-A).
+// port layer does for every sensitive operation (§III-A). The trap is
+// taken on the PD's home core.
 func (e *Env) Hypercall(n int, args ...uint32) uint32 {
 	var a [4]uint32
 	copy(a[:], args)
-	return e.K.CPU.SWI(n, a)
+	return e.PD.Core.CPU.SWI(n, a)
 }
 
-// Preempted reports whether the kernel wants the CPU back (quantum expiry
-// or a higher-priority PD became ready). Guests poll it between chunks.
-func (e *Env) Preempted() bool { return e.K.needResched }
+// Preempted reports whether the kernel wants the core back (quantum
+// expiry or a higher-priority PD became ready). Guests poll it between
+// chunks.
+func (e *Env) Preempted() bool { return e.PD.Core.needResched }
 
 // PendingVIRQ drains and dispatches injected virtual interrupts through
 // the VM's registered IRQ entry — the model's equivalent of taking the

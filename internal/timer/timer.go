@@ -11,10 +11,13 @@ import (
 
 // PrivateTimer is a down-counting timer with auto-reload that raises
 // gic.PrivateTimerIRQ on expiry. The A9 private timer ticks at CPU/2; for
-// model simplicity it is programmed directly in core cycles.
+// model simplicity it is programmed directly in core cycles. Each core of
+// an MPCore has its own private timer raising the banked PPI on its own
+// GIC CPU interface.
 type PrivateTimer struct {
 	clock *simclock.Clock
 	gic   *gic.GIC
+	cpu   int // GIC CPU interface the expiry PPI is banked on
 
 	interval simclock.Cycles
 	oneShot  bool
@@ -24,9 +27,15 @@ type PrivateTimer struct {
 	Expiries uint64
 }
 
-// New wires a private timer to the clock and interrupt controller.
+// New wires CPU0's private timer to the clock and interrupt controller.
 func New(c *simclock.Clock, g *gic.GIC) *PrivateTimer {
-	return &PrivateTimer{clock: c, gic: g}
+	return NewFor(c, g, 0)
+}
+
+// NewFor wires the private timer of one core of an MPCore: expiries raise
+// the private-timer PPI on that core's GIC CPU interface.
+func NewFor(c *simclock.Clock, g *gic.GIC, cpu int) *PrivateTimer {
+	return &PrivateTimer{clock: c, gic: g, cpu: cpu}
 }
 
 // Start programs the timer to fire every interval cycles (auto-reload) or
@@ -45,7 +54,7 @@ func (t *PrivateTimer) arm() {
 
 func (t *PrivateTimer) expire(simclock.Cycles) {
 	t.Expiries++
-	t.gic.Raise(gic.PrivateTimerIRQ)
+	t.gic.RaiseOn(t.cpu, gic.PrivateTimerIRQ)
 	if t.oneShot {
 		t.running = false
 		return

@@ -117,7 +117,7 @@ func NewNativeMachine(cores map[uint16]pl.Accel) *NativeMachine {
 	// OS's ISR epilogue via Machine.EOI).
 	c.Vectors.IRQ = func() {
 		clock.Advance(2 * 20)
-		id := g.Acknowledge()
+		id := g.Acknowledge(0)
 		if id == gic.SpuriousID {
 			return
 		}
@@ -168,7 +168,7 @@ func (nm *NativeMachine) DisableIRQ(irq int) {
 // EOI implements Machine.
 func (nm *NativeMachine) EOI(irq int) {
 	nm.Clock.Advance(20)
-	nm.GIC.EOI(irq)
+	nm.GIC.EOI(0, irq)
 }
 
 // SetTickTimer implements Machine: the physical private timer.

@@ -37,9 +37,10 @@ func NewVirtMachine(env *nova.Env) *VirtMachine {
 // Name implements Machine.
 func (m *VirtMachine) Name() string { return "virt/" + m.Env.PD.Name_ }
 
-// NewContext implements Machine.
+// NewContext implements Machine: task contexts execute on the PD's home
+// core (the CPU its root context is bound to).
 func (m *VirtMachine) NewContext(name string, base, size uint32) *cpu.ExecContext {
-	return cpu.NewExecContext(m.Env.K.CPU, name, base, size)
+	return cpu.NewExecContext(m.Env.Ctx.CPU, name, base, size)
 }
 
 // KernelCodeBase implements Machine: the de-privileged kernel image.
