@@ -9,10 +9,15 @@ package main
 import (
 	"testing"
 
+	"repro/internal/bitstream"
 	"repro/internal/experiments"
+	"repro/internal/gic"
 	"repro/internal/hwtask"
 	"repro/internal/measure"
 	"repro/internal/nova"
+	"repro/internal/physmem"
+	"repro/internal/pl"
+	"repro/internal/reconfig"
 	"repro/internal/simclock"
 	"repro/internal/ucos"
 )
@@ -86,6 +91,61 @@ func BenchmarkDualCoreOffload(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkReconfigColdVsWarm measures one managed reconfiguration
+// through the pipeline at device level: the cold path pays the SD-card
+// staging read plus the PCAP download, the warm path finds the bitstream
+// image in the cache and pays the download alone. The reported
+// reconfig_us metrics are the acceptance evidence that the cache makes
+// repeat reconfigurations measurably cheaper.
+func BenchmarkReconfigColdVsWarm(b *testing.B) {
+	run := func(b *testing.B, warm bool) {
+		for i := 0; i < b.N; i++ {
+			clock := simclock.New()
+			bus := physmem.NewBus()
+			g := gic.New()
+			caps := []bitstream.Resources{{LUTs: 10000, BRAM: 32, DSP: 48}}
+			fab := pl.NewFabric(clock, bus, g, caps)
+			raw := bitstream.Synthesize(1, 0, bitstream.Resources{LUTs: 100}, 150<<10).Encode()
+			storePA := physmem.Addr(physmem.DDRBase + 0xA0_0000)
+			if err := bus.WriteBytes(storePA, raw); err != nil {
+				b.Fatal(err)
+			}
+			pipe := reconfig.New(clock, fab, bus, storePA, reconfig.DefaultConfig())
+			submit := func() simclock.Cycles {
+				t0 := clock.Now()
+				pipe.Submit(&reconfig.Request{
+					SrcOff: 0, Len: uint32(len(raw)), Target: 0, Priority: 1,
+				})
+				clock.RunUntilIdle(100)
+				return clock.Now() - t0
+			}
+			d := submit() // cold: SD fetch + PCAP
+			if warm {
+				d = submit() // warm: cached image, PCAP only
+			}
+			b.ReportMetric(d.Micros(), "reconfig_us")
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, false) })
+	b.Run("warm", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkReconfigSweep runs the full dual-core sharing workload through
+// the pipeline and reports the system-level distributions: cold/warm p50,
+// cache hit ratio, and the queue pressure that replaced busy-rejection.
+func BenchmarkReconfigSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultReconfigConfig()
+		cfg.Iterations = 10
+		rep := experiments.RunReconfigSweep(cfg)
+		b.ReportMetric(rep.Cold.P50, "cold_p50_us")
+		b.ReportMetric(rep.Warm.P50, "warm_p50_us")
+		b.ReportMetric(rep.HitRatio, "hit_ratio")
+		b.ReportMetric(float64(rep.Queued), "queued_starts")
+		b.ReportMetric(float64(rep.Queue.MaxDepth), "queue_max_depth")
 	}
 }
 

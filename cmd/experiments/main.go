@@ -10,6 +10,7 @@
 //	go run ./cmd/experiments -fig9     # just the figure (implies -table3)
 //	go run ./cmd/experiments -footprint # just the scalars
 //	go run ./cmd/experiments -dualcore  # dual-core offload comparison
+//	go run ./cmd/experiments -reconfig  # reconfiguration-pipeline sweep
 //	go run ./cmd/experiments -iters 40 -guests 4
 package main
 
@@ -27,6 +28,8 @@ func main() {
 		fig9      = flag.Bool("fig9", false, "reproduce Figure 9 (runs Table III)")
 		footprint = flag.Bool("footprint", false, "report the Section V-B scalars")
 		dualcore  = flag.Bool("dualcore", false, "compare the CPU0-only deployment with the dual-core partitioning")
+		reconfig  = flag.Bool("reconfig", false, "run the reconfiguration-pipeline sweep (cache/queue/prefetch)")
+		cacheKB   = flag.Uint("cachekb", 0, "override the bitstream cache budget in KB (0 = default 1024)")
 		guests    = flag.Int("guests", 4, "maximum number of guest VMs")
 		iters     = flag.Int("iters", 24, "measured hardware-task requests per guest")
 		warmup    = flag.Int("warmup", 4, "warm-up requests per guest before measuring")
@@ -35,7 +38,7 @@ func main() {
 		seed      = flag.Uint("seed", 1, "task-selection seed")
 	)
 	flag.Parse()
-	all := !*table3 && !*fig9 && !*footprint && !*dualcore
+	all := !*table3 && !*fig9 && !*footprint && !*dualcore && !*reconfig
 
 	cfg := experiments.DefaultConfig()
 	cfg.Guests = *guests
@@ -48,6 +51,17 @@ func main() {
 	if all || *footprint {
 		root, _ := os.Getwd()
 		fmt.Println(experiments.CollectFootprint(root))
+	}
+	if all || *reconfig {
+		rcfg := experiments.DefaultReconfigConfig()
+		rcfg.Seed = cfg.Seed
+		rcfg.CacheBytes = uint32(*cacheKB) << 10
+		fmt.Printf("running reconfiguration-pipeline sweep (%d guests, %d cores)...\n",
+			rcfg.Guests, rcfg.Cores)
+		rep := experiments.RunReconfigSweep(rcfg)
+		fmt.Println(rep)
+		rchecks := rep.Check()
+		fmt.Printf("reconfig checks: %+v\n  all hold: %v\n\n", rchecks, rchecks.AllHold())
 	}
 	if all || *dualcore {
 		dcfg := cfg

@@ -78,6 +78,61 @@ func TestSynthesizeDeterministic(t *testing.T) {
 	}
 }
 
+// Boundary-size round trips: empty payload, single byte, and the maximum
+// representable resource footprint must all survive Encode/Decode, while
+// every truncation of the header must be rejected.
+func TestEncodeDecodeBoundaries(t *testing.T) {
+	maxRes := Resources{LUTs: ^uint32(0), BRAM: ^uint32(0), DSP: ^uint32(0)}
+	cases := []struct {
+		name    string
+		taskID  uint16
+		variant uint16
+		needs   Resources
+		payload int
+	}{
+		{"empty-payload", 1, 0, Resources{}, 0},
+		{"one-byte", 2, 1, Resources{LUTs: 1}, 1},
+		{"max-resources", 3, 2, maxRes, 64},
+		{"max-ids", 0xFFFF, 0xFFFF, Resources{LUTs: 10}, 16},
+		{"page-aligned", 4, 0, Resources{BRAM: 36}, 4096 - HeaderSize},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := Synthesize(tc.taskID, tc.variant, tc.needs, tc.payload)
+			raw := b.Encode()
+			if len(raw) != b.TotalLen() || len(raw) != HeaderSize+tc.payload {
+				t.Fatalf("encoded length %d, want %d", len(raw), HeaderSize+tc.payload)
+			}
+			got, err := Decode(raw)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got.TaskID != tc.taskID || got.Variant != tc.variant {
+				t.Errorf("ids = %d/%d, want %d/%d", got.TaskID, got.Variant, tc.taskID, tc.variant)
+			}
+			if got.Needs != tc.needs {
+				t.Errorf("resources = %+v, want %+v", got.Needs, tc.needs)
+			}
+			if !bytes.Equal(got.Payload, b.Payload) {
+				t.Error("payload mismatch")
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsEveryTruncatedHeader(t *testing.T) {
+	raw := Synthesize(1, 0, Resources{}, 0).Encode()
+	for n := 0; n < HeaderSize; n++ {
+		if _, err := Decode(raw[:n]); err == nil {
+			t.Errorf("header truncated to %d bytes accepted", n)
+		}
+	}
+	// Exactly the header with an empty payload is valid.
+	if _, err := Decode(raw[:HeaderSize]); err != nil {
+		t.Errorf("full header with empty payload rejected: %v", err)
+	}
+}
+
 // Property: Decode(Encode(x)) == x for arbitrary ids/sizes.
 func TestPropertyRoundTrip(t *testing.T) {
 	f := func(id, variant uint16, luts, bram, dsp uint32, size uint16) bool {

@@ -29,6 +29,9 @@ type DualCoreReport struct {
 	VMSwitches uint64 // world switches across all cores
 	SGIsSent   uint64 // cross-core reschedule IPIs
 	PerCore    []CoreStat
+	// ReconfigSummary is the reconfiguration pipeline's one-line counter
+	// report (PCAP transfers/errors, cache hits/misses, queue depth).
+	ReconfigSummary string
 }
 
 // RunDualCoreRow measures the fixed workload of Fig. 8 on the given core
@@ -53,6 +56,9 @@ func RunDualCoreRow(cfg Config, cores int) DualCoreReport {
 		SGIsSent: k.GIC.Stats().SGIsSent,
 	}
 	rep.Total = rep.Entry + rep.Exec + rep.Exit
+	if k.Reconfig != nil {
+		rep.ReconfigSummary = k.Reconfig.Summary()
+	}
 	now := k.Clock.Now()
 	for _, pd := range k.PDs {
 		rep.VMSwitches += pd.Switches
@@ -108,6 +114,11 @@ func (d DualCore) String() string {
 			fmt.Fprintf(&b, "cpu%d %.1f%%  ", cs.ID, cs.Utilization*100)
 		}
 		b.WriteString("\n")
+	}
+	for _, rep := range []DualCoreReport{d.Single, d.Dual} {
+		if rep.ReconfigSummary != "" {
+			fmt.Fprintf(&b, "%s: %s\n", rep.Label, rep.ReconfigSummary)
+		}
 	}
 	return b.String()
 }

@@ -43,6 +43,14 @@ type Config struct {
 	Warmup int
 	// Seed diversifies the per-guest task-selection streams.
 	Seed uint32
+	// KeepWarmupProbes skips the steady-state probe reset, so samples
+	// from the warm-up phase survive — the reconfiguration sweep needs
+	// them because that is where the cold (SD-fetch) misses happen.
+	KeepWarmupProbes bool
+	// CacheBytes overrides the reconfiguration pipeline's bitstream
+	// cache budget (0 keeps reconfig.DefaultConfig's). Small budgets
+	// force evictions and give the prefetcher work.
+	CacheBytes uint32
 }
 
 // DefaultConfig returns the configuration used by cmd/experiments.
@@ -230,6 +238,10 @@ func BuildVirtSystem(cfg Config) *VirtSystem {
 	}
 	k.AttachFabric(fabric)
 
+	if cfg.CacheBytes != 0 {
+		k.Reconfig.SetCacheCapacity(cfg.CacheBytes)
+	}
+
 	mgr := hwtask.NewManager(len(caps), nova.GuestUserBase+0x10_0000)
 	if err := hwtask.InstallTaskSet(mgr, k.Bus, nova.BitstreamStorePA(), caps, hwtask.PaperTaskSet()); err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
@@ -250,7 +262,7 @@ func BuildVirtSystem(cfg Config) *VirtSystem {
 	}
 	onWarm := func() {
 		sys.warmed++
-		if sys.warmed == cfg.Guests {
+		if sys.warmed == cfg.Guests && !cfg.KeepWarmupProbes {
 			k.Probes.Reset() // steady state reached: measure from here
 		}
 	}

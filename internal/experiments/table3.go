@@ -16,6 +16,9 @@ type Row struct {
 	IRQEntry float64 // PL IRQ entry
 	Exec     float64 // HW Manager execution
 	Samples  uint64
+	// ReconfigSummary is the reconfiguration pipeline's counter line
+	// (empty for the native baseline, which has no pipeline).
+	ReconfigSummary string
 }
 
 // Total is the overall response delay: "the sum of overheads from the
@@ -61,7 +64,11 @@ func RunTable3Row(cfg Config, nGuests int) Row {
 	sys := BuildVirtSystem(c)
 	defer sys.Kernel.Shutdown()
 	probes := sys.RunToCompletion(safetyHorizon(c))
-	return rowFrom(fmt.Sprintf("%d OS", nGuests), probes)
+	row := rowFrom(fmt.Sprintf("%d OS", nGuests), probes)
+	if sys.Kernel.Reconfig != nil {
+		row.ReconfigSummary = sys.Kernel.Reconfig.Summary()
+	}
+	return row
 }
 
 // RunTable3Native measures the baseline.
@@ -109,6 +116,11 @@ func (t Table3) String() string {
 		fmt.Fprintf(&b, "%d ", r.Samples)
 	}
 	fmt.Fprintf(&b, "| native: %d)\n", t.Native.Samples)
+	for _, r := range t.Virt {
+		if r.ReconfigSummary != "" {
+			fmt.Fprintf(&b, "%s: %s\n", r.Label, r.ReconfigSummary)
+		}
+	}
 	return b.String()
 }
 

@@ -96,7 +96,11 @@ type Actions interface {
 	MapIface(req Request, prr int) bool
 	// LoadWindow points the hwMMU at the client's data section — stage (4).
 	LoadWindow(req Request, prr int) bool
-	// StartReconfig launches the PCAP download — stage (5).
+	// StartReconfig launches the PCAP download — stage (5). Under
+	// Mini-NOVA this submits to the kernel's reconfiguration pipeline
+	// (cache + request queue) and only fails on invalid arguments; the
+	// native baseline programs the device directly and still fails when
+	// the PCAP is busy.
 	StartReconfig(req Request, t *TaskInfo, prr int) bool
 	// AllocIRQ wires a PL interrupt line for the region to the client and
 	// returns the GIC interrupt ID (ok=false when lines are exhausted).
@@ -275,7 +279,9 @@ func (m *Manager) Handle(ctx *cpu.ExecContext, req Request, act Actions) uint32 
 	if needReconfig {
 		m.exec(ctx, 500)
 		if !act.StartReconfig(req, t, chosen) {
-			// PCAP busy with someone else's transfer: the caller retries.
+			// Native baseline only: PCAP busy with someone else's
+			// transfer, so the caller retries. The virtualized path
+			// queues the request in the reconfiguration pipeline instead.
 			m.Stats.Busy++
 			return ReplyBusy
 		}

@@ -47,8 +47,16 @@ func (s *Service) RunSlice(env *nova.Env) {
 			IfaceVA:  view.IfaceVA,
 			DataVA:   view.DataVA,
 		}
-		// Opportunistically clear Loading flags for finished transfers.
-		if s.K.Fabric != nil && !s.K.Fabric.PCAP.Busy() {
+		// Opportunistically clear Loading flags for finished transfers:
+		// a region is done loading once the reconfiguration pipeline has
+		// nothing for it anywhere (fill, queue, or active download).
+		if rc := s.K.Reconfig; rc != nil {
+			for r := range s.M.PRRs {
+				if s.M.PRRs[r].Loading && !rc.InFlight(r) {
+					s.M.PRRs[r].Loading = false
+				}
+			}
+		} else if s.K.Fabric != nil && !s.K.Fabric.PCAP.Busy() {
 			for r := range s.M.PRRs {
 				s.M.PRRs[r].Loading = false
 			}
@@ -84,6 +92,10 @@ func (a *portalActions) LoadWindow(req Request, prr int) bool {
 	return a.env.Hypercall(nova.HcMgrHwMMULoad, uint32(req.ClientID), uint32(prr)) == nova.StatusOK
 }
 
+// StartReconfig implements Actions through the HcMgrPCAPStart portal,
+// which hands the download to the kernel's reconfiguration pipeline:
+// cached bitstreams skip the SD staging read, and a busy PCAP queues the
+// request (by client priority) instead of failing it back here.
 func (a *portalActions) StartReconfig(req Request, t *TaskInfo, prr int) bool {
 	return a.env.Hypercall(nova.HcMgrPCAPStart, req.ReqID, t.BitstreamOff, t.BitstreamLen, uint32(prr)) == nova.StatusOK
 }

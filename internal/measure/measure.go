@@ -87,13 +87,18 @@ func (p *Probe) Samples() []simclock.Cycles {
 	return out
 }
 
-// Set is a collection of named probes.
+// Set is a collection of named probes plus scalar counters (unitless
+// statistics such as cache hit counts and queue depths that sweeps report
+// alongside the latency probes).
 type Set struct {
-	probes map[string]*Probe
+	probes   map[string]*Probe
+	counters map[string]float64
 }
 
 // NewSet returns an empty probe set.
-func NewSet() *Set { return &Set{probes: make(map[string]*Probe)} }
+func NewSet() *Set {
+	return &Set{probes: make(map[string]*Probe), counters: make(map[string]float64)}
+}
 
 // Get returns (creating if needed) the named probe.
 func (s *Set) Get(name string) *Probe {
@@ -108,11 +113,33 @@ func (s *Set) Get(name string) *Probe {
 // Add records a sample on the named probe.
 func (s *Set) Add(name string, d simclock.Cycles) { s.Get(name).Add(d) }
 
-// Reset clears all samples but keeps the probe names and their
-// sample-retention settings.
+// SetCounter stores a scalar statistic under name.
+func (s *Set) SetCounter(name string, v float64) { s.counters[name] = v }
+
+// AddCounter accumulates delta into the named counter.
+func (s *Set) AddCounter(name string, delta float64) { s.counters[name] += delta }
+
+// Counter returns the named counter (0 when unset).
+func (s *Set) Counter(name string) float64 { return s.counters[name] }
+
+// CounterNames lists counters in sorted order.
+func (s *Set) CounterNames() []string {
+	out := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears all samples and counters but keeps the probe names and
+// their sample-retention settings.
 func (s *Set) Reset() {
 	for _, p := range s.probes {
 		*p = Probe{Keep: p.Keep}
+	}
+	for n := range s.counters {
+		delete(s.counters, n)
 	}
 }
 
@@ -134,6 +161,9 @@ func (s *Set) String() string {
 		fmt.Fprintf(&b, "%-16s n=%-6d mean=%8.3fus min=%8.3fus max=%8.3fus\n",
 			n, p.Count, p.MeanMicros(), p.Min.Micros(), p.Max.Micros())
 	}
+	for _, n := range s.CounterNames() {
+		fmt.Fprintf(&b, "%-28s %g\n", n, s.counters[n])
+	}
 	return b.String()
 }
 
@@ -145,4 +175,11 @@ const (
 	PhasePLIRQEntry = "plirq_entry" // exception vector to vGIC injection
 	PhaseVMSwitch   = "vm_switch"   // full world switch
 	PhaseHypercall  = "hypercall"   // generic hypercall round trip
+
+	// Reconfiguration-pipeline phases (internal/reconfig): end-to-end
+	// latency of one managed reconfiguration, split by cache outcome,
+	// plus the time a ready request waited for the PCAP channel.
+	PhaseReconfigCold  = "reconfig_cold"  // SD fill + queue + PCAP download
+	PhaseReconfigWarm  = "reconfig_warm"  // cached image: queue + download
+	PhaseReconfigQWait = "reconfig_qwait" // ready -> PCAP start
 )

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mmu"
 	"repro/internal/physmem"
 	"repro/internal/pl"
+	"repro/internal/reconfig"
 	"repro/internal/simclock"
 )
 
@@ -338,13 +339,15 @@ func (k *Kernel) hcHwTaskRequest(pd *PD, kind HwRequestKind, args [4]uint32) uin
 }
 
 // hcHwTaskStatus lets a guest poll PCAP completion ("by polling the
-// completion signal", §IV-E) or a held task's state.
+// completion signal", §IV-E) or a held task's state. With the pipeline a
+// reconfiguration is "in flight" through its whole journey: SD fill,
+// request queue, and PCAP download.
 func (k *Kernel) hcHwTaskStatus(pd *PD, _ uint32) uint32 {
 	k.Clock.Advance(CostDeviceAccess)
 	if k.Fabric == nil {
 		return StatusErr
 	}
-	if k.Fabric.PCAP.Busy() && k.pcapOwner == pd {
+	if k.Reconfig != nil && k.Reconfig.PendingFor(pd) {
 		return StatusReconfig
 	}
 	return StatusOK
@@ -591,32 +594,42 @@ func (k *Kernel) mgrHwMMULoad(pdID, prr int) uint32 {
 	return StatusOK
 }
 
-// mgrPCAPStart launches a bitstream download — stage (5) of Fig. 7. The
-// source is an offset into the bitstream store (mapped exclusively into
-// the manager's space, §IV-B). The PCAP completion IRQ is routed to the
-// requesting client ("always connected to the VM which launches the
-// current transfer", §IV-D).
+// mgrPCAPStart launches a bitstream download — stage (5) of Fig. 7 —
+// through the reconfiguration pipeline. The source is an offset into the
+// bitstream store (mapped exclusively into the manager's space, §IV-B):
+// a cached image goes straight to the PCAP leg, a cold one is staged
+// from the SD card first, and a busy PCAP queues the request by the
+// client's priority instead of bouncing it back as Busy. The completion
+// IRQ is routed to the requesting client when its transfer actually
+// starts ("always connected to the VM which launches the current
+// transfer", §IV-D).
 func (k *Kernel) mgrPCAPStart(reqID, srcOff, length uint32, prr uint32) uint32 {
 	req, ok := k.hwByID[reqID]
-	if !ok || k.Fabric == nil {
+	if !ok || k.Fabric == nil || k.Reconfig == nil {
 		return StatusInval
 	}
-	if k.Fabric.PCAP.Busy() {
-		return StatusBusy
-	}
-	if srcOff+length > 22<<20 {
+	// Overflow-safe store-bounds check: srcOff+length could wrap uint32.
+	if srcOff > 22<<20 || length > 22<<20-srcOff {
 		return StatusInval
 	}
-	k.pcapOwner = req.PD
-	k.GIC.SetTarget(gic.PCAPIRQ, req.PD.Core.ID)
-	req.PD.VGIC.Register(gic.PCAPIRQ)
-	req.PD.VGIC.Enable(gic.PCAPIRQ)
-	dc := physmem.Addr(0xF800_7000)
-	_ = k.Bus.Write32(dc+pl.PCAPRegSrc, uint32(BitstreamStorePA())+srcOff)
-	_ = k.Bus.Write32(dc+pl.PCAPRegLen, length)
-	_ = k.Bus.Write32(dc+pl.PCAPRegTarget, prr)
-	_ = k.Bus.Write32(dc+pl.PCAPRegCtrl, 1)
-	k.Clock.Advance(4 * CostDeviceAccess)
+	pd := req.PD
+	k.Reconfig.Submit(&reconfig.Request{
+		Key:      srcOff,
+		SrcOff:   srcOff,
+		Len:      length,
+		Target:   int(prr),
+		Priority: pd.Priority,
+		Owner:    pd,
+		OnStart: func(*reconfig.Request) {
+			k.GIC.SetTarget(gic.PCAPIRQ, pd.Core.ID)
+			pd.VGIC.Register(gic.PCAPIRQ)
+			pd.VGIC.Enable(gic.PCAPIRQ)
+		},
+		OnDone: func(_ *reconfig.Request, ok bool) {
+			k.pcapDone = append(k.pcapDone, pd)
+		},
+	})
+	k.Clock.Advance(2 * CostDeviceAccess) // portal bookkeeping
 	return StatusOK
 }
 

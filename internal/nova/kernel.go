@@ -11,6 +11,7 @@ import (
 	"repro/internal/mmu"
 	"repro/internal/physmem"
 	"repro/internal/pl"
+	"repro/internal/reconfig"
 	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/timer"
@@ -59,7 +60,11 @@ type Kernel struct {
 	CPU   *cpu.CPU
 
 	Fabric *pl.Fabric // nil until AttachFabric
-	Alloc  *mmu.FrameAllocator
+	// Reconfig is the managed reconfiguration pipeline (bitstream cache,
+	// PCAP request queue, prefetcher) built by AttachFabric; all
+	// manager-portal reconfigurations flow through it.
+	Reconfig *reconfig.Pipeline
+	Alloc    *mmu.FrameAllocator
 
 	// Sched is the pluggable scheduling policy (per-CPU runqueues). The
 	// kernel depends on the interface only; replace it before creating
@@ -94,9 +99,12 @@ type Kernel struct {
 	nextReqID uint32
 	hwSvc     *PD
 
-	// PL interrupt routing (§IV-D).
+	// PL interrupt routing (§IV-D). pcapDone lists the owners of PCAP
+	// transfers that completed since the last interrupt was handled — with
+	// the request queue, back-to-back completions for different VMs can
+	// share one physical interrupt.
 	plirqOwner [gic.NumPLIRQs]*PD
-	pcapOwner  *PD
+	pcapDone   []*PD
 
 	// Measurement stamps for the Table III phases.
 	mgrEntryFrom  simclock.Cycles
@@ -194,8 +202,13 @@ func NewKernelSMP(ncores int) *Kernel {
 }
 
 // AttachFabric connects the programmable-logic model (built by the caller
-// so its PRR capacities are scenario-specific).
-func (k *Kernel) AttachFabric(f *pl.Fabric) { k.Fabric = f }
+// so its PRR capacities are scenario-specific) and stands up the managed
+// reconfiguration pipeline over its PCAP.
+func (k *Kernel) AttachFabric(f *pl.Fabric) {
+	k.Fabric = f
+	k.Reconfig = reconfig.New(k.Clock, f, k.Bus, BitstreamStorePA(), reconfig.DefaultConfig())
+	k.Reconfig.Probes = k.Probes
+}
 
 // PDConfig parameterizes CreatePD.
 type PDConfig struct {
@@ -292,7 +305,17 @@ func (k *Kernel) guestWrapper(pd *PD) {
 		return
 	}
 	pd.Guest.RunSlice(pd.Env)
-	// Guest finished: retire the PD and release its scheduler placement.
+	// Guest finished. During Shutdown every guest goroutine unwinds
+	// concurrently (a guest whose RunSlice observes Dying returns here
+	// normally instead of panicking), so kernel state must not be touched:
+	// the coroutine discipline — one goroutine holds the logical CPU at a
+	// time — no longer applies, and Shutdown discards the scheduler anyway.
+	select {
+	case <-k.dying:
+		return
+	default:
+	}
+	// Retire the PD and release its scheduler placement.
 	pd.dead = true
 	k.Sched.Unplace(&pd.node)
 	for {
@@ -594,12 +617,17 @@ func (k *Kernel) onIRQ(c *CoreCtx) {
 		c.needResched = true
 	case id == gic.PCAPIRQ:
 		c.kctx.Exec(18)
-		if k.pcapOwner != nil {
-			if k.pcapOwner.VGIC.Inject(id) {
-				k.wakeIfIdle(k.pcapOwner)
-				k.maybePreemptFor(k.pcapOwner)
+		// Drain every completion since the last interrupt: with the
+		// reconfiguration queue, the next transfer starts before this one
+		// is acknowledged, so the single pending bit can cover several
+		// owners.
+		for _, pd := range k.pcapDone {
+			if pd.VGIC.Inject(id) {
+				k.wakeIfIdle(pd)
+				k.maybePreemptFor(pd)
 			}
 		}
+		k.pcapDone = k.pcapDone[:0]
 	case physicalLine(id):
 		c.kctx.Exec(22)
 		c.kctx.Touch(KernelDataVA+0x8000+uint32(id)*8, false) // routing table

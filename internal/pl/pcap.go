@@ -35,8 +35,22 @@ type PCAP struct {
 
 	busy    bool
 	pending *simclock.Event
+	// cur latches the in-flight transfer's parameters at kick time, so
+	// register writes (or rejected starts) during the transfer cannot
+	// disturb it.
+	cur struct {
+		src    physmem.Addr
+		n      int
+		target int
+	}
 
-	// Transfers counts completed downloads; Errors counts failed ones.
+	// OnComplete, when set, observes every finished transfer (after the
+	// status registers are updated and the IRQ is raised). The
+	// reconfiguration pipeline uses it to drain its request queue.
+	OnComplete func(target int, ok bool)
+
+	// Transfers counts completed downloads; Errors counts failed ones,
+	// including starts rejected while a transfer was in flight.
 	Transfers uint64
 	Errors    uint64
 }
@@ -72,21 +86,23 @@ func TransferCycles(n int) simclock.Cycles {
 
 func (p *PCAP) kick() {
 	if p.busy {
-		p.regs[PCAPRegStatus] = 3
+		// Rejected start: the in-flight transfer keeps its latched state
+		// and its busy status — the stray Ctrl write is only counted.
 		p.Errors++
 		return
 	}
-	src := physmem.Addr(p.regs[PCAPRegSrc])
-	n := int(p.regs[PCAPRegLen])
-	target := int(p.regs[PCAPRegTarget])
+	p.cur.src = physmem.Addr(p.regs[PCAPRegSrc])
+	p.cur.n = int(p.regs[PCAPRegLen])
+	p.cur.target = int(p.regs[PCAPRegTarget])
 	p.busy = true
 	p.regs[PCAPRegStatus] = 1
-	p.pending = p.f.Clock.After(TransferCycles(n), func(simclock.Cycles) {
-		p.finish(src, n, target)
+	p.pending = p.f.Clock.After(TransferCycles(p.cur.n), func(simclock.Cycles) {
+		p.finish()
 	})
 }
 
-func (p *PCAP) finish(src physmem.Addr, n, target int) {
+func (p *PCAP) finish() {
+	src, n, target := p.cur.src, p.cur.n, p.cur.target
 	p.busy = false
 	p.pending = nil
 	fail := func(err error) {
@@ -95,6 +111,9 @@ func (p *PCAP) finish(src physmem.Addr, n, target int) {
 		p.regs[PCAPRegIntSts] |= 1
 		p.f.GIC.Raise(gic.PCAPIRQ)
 		_ = err
+		if p.OnComplete != nil {
+			p.OnComplete(target, false)
+		}
 	}
 	if target < 0 || target >= len(p.f.PRRs) {
 		fail(fmt.Errorf("pcap: bad target PRR %d", target))
@@ -118,6 +137,9 @@ func (p *PCAP) finish(src physmem.Addr, n, target int) {
 	p.regs[PCAPRegStatus] = 2
 	p.regs[PCAPRegIntSts] |= 1
 	p.f.GIC.Raise(gic.PCAPIRQ)
+	if p.OnComplete != nil {
+		p.OnComplete(target, true)
+	}
 }
 
 // Busy reports whether a transfer is in flight.

@@ -219,6 +219,75 @@ func TestPCAPDownload(t *testing.T) {
 	}
 }
 
+func TestPCAPBusyStartRejectedWithoutClobber(t *testing.T) {
+	// Regression: a Ctrl start while a transfer is in flight must not
+	// disturb the latched src/len/target of the running transfer, must
+	// leave STATUS showing busy, and must be counted in Errors.
+	clock, bus, _, f := rig()
+	bs := bitstream.Synthesize(1, 2, bitstream.Resources{LUTs: 1500}, 8192)
+	raw := bs.Encode()
+	src := physmem.DDRBase + 2<<20
+	if err := bus.WriteBytes(src, raw); err != nil {
+		t.Fatal(err)
+	}
+	bus.Write32(physmem.DevCfgBase+PCAPRegSrc, uint32(src))
+	bus.Write32(physmem.DevCfgBase+PCAPRegLen, uint32(len(raw)))
+	bus.Write32(physmem.DevCfgBase+PCAPRegTarget, 1)
+	bus.Write32(physmem.DevCfgBase+PCAPRegCtrl, 1)
+	if !f.PCAP.Busy() {
+		t.Fatal("PCAP not busy after kick")
+	}
+
+	// Mid-transfer, a confused driver reprograms everything and starts
+	// again: garbage src, different target.
+	bus.Write32(physmem.DevCfgBase+PCAPRegSrc, 0xDEAD_0000)
+	bus.Write32(physmem.DevCfgBase+PCAPRegLen, 16)
+	bus.Write32(physmem.DevCfgBase+PCAPRegTarget, 0)
+	bus.Write32(physmem.DevCfgBase+PCAPRegCtrl, 1)
+
+	if f.PCAP.Errors != 1 {
+		t.Errorf("rejected start not counted: Errors = %d, want 1", f.PCAP.Errors)
+	}
+	if v, _ := bus.Read32(physmem.DevCfgBase + PCAPRegStatus); v != 1 {
+		t.Errorf("status after rejected start = %d, want 1 (busy, not clobbered)", v)
+	}
+
+	clock.RunUntilIdle(10)
+	// The original transfer completes into its latched target with its
+	// latched source, untouched by the mid-flight register writes.
+	if v, _ := bus.Read32(physmem.DevCfgBase + PCAPRegStatus); v != 2 {
+		t.Errorf("status after completion = %d, want done", v)
+	}
+	if f.PRRs[1].Loaded == nil || f.PRRs[1].Loaded.TaskID != 1 || f.PRRs[1].Loaded.Variant != 2 {
+		t.Error("in-flight transfer corrupted by rejected start")
+	}
+	if f.PRRs[0].Loaded != nil {
+		t.Error("rejected start configured its target anyway")
+	}
+	if f.PCAP.Transfers != 1 || f.PCAP.Errors != 1 {
+		t.Errorf("transfers/errors = %d/%d, want 1/1", f.PCAP.Transfers, f.PCAP.Errors)
+	}
+}
+
+func TestPCAPCompletionHook(t *testing.T) {
+	clock, bus, _, f := rig()
+	var gotTarget int
+	var gotOK bool
+	calls := 0
+	f.PCAP.OnComplete = func(target int, ok bool) { gotTarget, gotOK, calls = target, ok, calls+1 }
+	raw := bitstream.Synthesize(1, 0, bitstream.Resources{LUTs: 100}, 1024).Encode()
+	src := physmem.DDRBase + 2<<20
+	bus.WriteBytes(src, raw)
+	bus.Write32(physmem.DevCfgBase+PCAPRegSrc, uint32(src))
+	bus.Write32(physmem.DevCfgBase+PCAPRegLen, uint32(len(raw)))
+	bus.Write32(physmem.DevCfgBase+PCAPRegTarget, 1)
+	bus.Write32(physmem.DevCfgBase+PCAPRegCtrl, 1)
+	clock.RunUntilIdle(10)
+	if calls != 1 || gotTarget != 1 || !gotOK {
+		t.Errorf("hook: calls=%d target=%d ok=%v, want 1/1/true", calls, gotTarget, gotOK)
+	}
+}
+
 func TestPCAPCorruptBitstreamErrors(t *testing.T) {
 	clock, bus, _, f := rig()
 	raw := bitstream.Synthesize(1, 0, bitstream.Resources{}, 512).Encode()

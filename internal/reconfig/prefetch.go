@@ -1,0 +1,71 @@
+package reconfig
+
+// Prefetcher is the history-based predictor behind speculative cache
+// fills. It keeps a per-PRR record of the last bitstream configured there
+// and a first-order transition table (previous image → next image counts)
+// learned from completed demand reconfigurations. After each completion
+// the pipeline asks it for the most likely successor and, if the PCAP
+// path is idle, issues a speculative SD→cache fill — never a speculative
+// PCAP write, so mispredictions waste only SD bandwidth, not fabric
+// state.
+type Prefetcher struct {
+	last  map[int]uint32               // PRR -> last demanded image key
+	trans map[uint32]map[uint32]uint64 // image -> successor -> count
+	size  map[uint32]uint32            // learned image lengths
+
+	Stats PrefetchStats
+}
+
+// PrefetchStats counts predictor outcomes. Hits are demand requests that
+// found their image resident (or filling) because of a prefetch; Useless
+// counts speculative entries evicted before any demand touched them.
+type PrefetchStats struct {
+	Transitions uint64
+	Issued      uint64
+	Hits        uint64
+	Useless     uint64
+}
+
+// NewPrefetcher returns an empty predictor.
+func NewPrefetcher() *Prefetcher {
+	return &Prefetcher{
+		last:  make(map[int]uint32),
+		trans: make(map[uint32]map[uint32]uint64),
+		size:  make(map[uint32]uint32),
+	}
+}
+
+// Observe records a completed demand reconfiguration: image key (length
+// bytes) was configured into PRR prr. The transition from the region's
+// previous occupant feeds the history table.
+func (p *Prefetcher) Observe(prr int, key, length uint32) {
+	p.size[key] = length
+	if prev, ok := p.last[prr]; ok && prev != key {
+		m := p.trans[prev]
+		if m == nil {
+			m = make(map[uint32]uint64)
+			p.trans[prev] = m
+		}
+		m[key]++
+		p.Stats.Transitions++
+	}
+	p.last[prr] = key
+}
+
+// Predict returns the most likely image to follow key, with its learned
+// length. Ties break toward the smaller key so prediction is
+// deterministic; ok is false when key has no recorded successors.
+func (p *Prefetcher) Predict(key uint32) (next, length uint32, ok bool) {
+	m := p.trans[key]
+	if len(m) == 0 {
+		return 0, 0, false
+	}
+	var bestKey uint32
+	var bestN uint64
+	for k, n := range m {
+		if n > bestN || (n == bestN && k < bestKey) {
+			bestKey, bestN = k, n
+		}
+	}
+	return bestKey, p.size[bestKey], true
+}

@@ -1,0 +1,78 @@
+package reconfig
+
+// Queue is the PCAP request queue: reconfiguration requests whose
+// bitstream is ready but whose download must wait for the single PCAP
+// channel. It replaces the old busy-rejection (the manager returned Busy
+// and the client retried the whole Fig. 7 routine) with priority-ordered
+// admission — requests carry their client PD's scheduling priority, and
+// equal priorities drain FIFO.
+type Queue struct {
+	items []*Request
+	seq   uint64
+
+	Stats QueueStats
+}
+
+// QueueStats aggregates queue pressure. DepthSum accumulates the depth
+// observed after every enqueue, so DepthSum/Enqueued is the mean depth a
+// queued request saw.
+type QueueStats struct {
+	Enqueued uint64
+	MaxDepth uint64
+	DepthSum uint64
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Push enqueues a ready request.
+func (q *Queue) Push(r *Request) {
+	q.seq++
+	r.seq = q.seq
+	q.items = append(q.items, r)
+	q.Stats.Enqueued++
+	d := uint64(len(q.items))
+	q.Stats.DepthSum += d
+	if d > q.Stats.MaxDepth {
+		q.Stats.MaxDepth = d
+	}
+}
+
+// Pop removes and returns the highest-priority request (FIFO within a
+// priority level), or nil when the queue is empty.
+func (q *Queue) Pop() *Request {
+	best := -1
+	for i, r := range q.items {
+		if best < 0 || r.Priority > q.items[best].Priority ||
+			(r.Priority == q.items[best].Priority && r.seq < q.items[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	r := q.items[best]
+	q.items = append(q.items[:best], q.items[best+1:]...)
+	return r
+}
+
+// Depth returns the number of waiting requests.
+func (q *Queue) Depth() int { return len(q.items) }
+
+// MeanDepth returns the average depth observed at enqueue time.
+func (q *Queue) MeanDepth() float64 {
+	if q.Stats.Enqueued == 0 {
+		return 0
+	}
+	return float64(q.Stats.DepthSum) / float64(q.Stats.Enqueued)
+}
+
+// any reports whether some waiting request satisfies pred.
+func (q *Queue) any(pred func(*Request) bool) bool {
+	for _, r := range q.items {
+		if pred(r) {
+			return true
+		}
+	}
+	return false
+}

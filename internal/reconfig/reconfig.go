@@ -1,0 +1,448 @@
+// Package reconfig turns the raw PCAP device into a managed
+// reconfiguration pipeline. In the paper, hardware-task switching cost is
+// dominated by reconfiguration: every allocation miss pays an SD-card
+// read of the .bit file plus a serial PCAP download (§IV-B/§IV-D). The
+// pipeline attacks both legs:
+//
+//   - a bitstream cache (cache.go): a bounded DDR/OCM-resident store in
+//     front of the SD path with LRU replacement and pin-while-loading
+//     semantics, so repeat reconfigurations of a cached image skip the
+//     SD read entirely;
+//   - a PCAP request queue (queue.go): a priority-aware reconfiguration
+//     scheduler that replaces the old busy-rejection, letting VMs on
+//     both cores overlap compute with a pending download;
+//   - a history-based prefetcher (prefetch.go): per-PRR task-transition
+//     history drives speculative cache fills — never speculative PCAP
+//     writes — during idle windows.
+//
+// The pipeline is event-driven on the shared simulated clock: Submit
+// never blocks the caller (the Hardware Task Manager "does NOT wait", to
+// overlap the reconfiguration overhead, §IV-E); SD fills and PCAP
+// transfers complete through scheduled events and the device's
+// completion hook.
+package reconfig
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/physmem"
+	"repro/internal/pl"
+	"repro/internal/simclock"
+)
+
+// SD-card fetch model: a class-10 card over the Zynq SDIO sustains on the
+// order of 20 MB/s, so each byte costs FrequencyHz/20MB ≈ 33 cycles, plus
+// a fixed command/seek setup. This is the cost a cache hit avoids; the
+// PCAP leg (pl.TransferCycles, ~5 cycles/byte) is paid either way.
+const (
+	sdCyclesPerByte = 33
+	sdSetupCycles   = 40_000 // ~60 µs command setup + FAT walk
+
+	// cacheAdminCycles is the warm-hit bookkeeping (tag lookup + LRU
+	// update in kernel data).
+	cacheAdminCycles = 260
+
+	// pcapProgramCycles covers the four strongly-ordered devcfg register
+	// writes that kick one transfer.
+	pcapProgramCycles = 80
+)
+
+// SDFetchCycles is the modelled latency of reading an n-byte bitstream
+// image from the SD card into the staging store.
+func SDFetchCycles(n int) simclock.Cycles {
+	return sdSetupCycles + simclock.Cycles(n)*sdCyclesPerByte
+}
+
+// Config parameterizes a pipeline.
+type Config struct {
+	// CacheBytes bounds the bitstream cache (0 disables caching: every
+	// request pays the SD fetch).
+	CacheBytes uint32
+	// Prefetch enables the history-based speculative fills.
+	Prefetch bool
+}
+
+// DefaultConfig holds the paper-platform defaults: a 1 MiB cache (a
+// fraction of the 22 MiB catalog, enough for a working set of a few
+// images) with prefetching on.
+func DefaultConfig() Config { return Config{CacheBytes: 1 << 20, Prefetch: true} }
+
+// Request is one reconfiguration through the pipeline.
+type Request struct {
+	// Key identifies the bitstream image (its offset inside the store).
+	Key uint32
+	// SrcOff/Len locate the image for the PCAP leg.
+	SrcOff uint32
+	Len    uint32
+	// Target is the destination PRR.
+	Target int
+	// Priority orders the PCAP queue (the client PD's scheduling
+	// priority; higher wins).
+	Priority int
+	// Owner is an opaque client cookie (the kernel stores the PD) used
+	// by PendingFor.
+	Owner any
+
+	// OnStart fires when the PCAP transfer for this request is about to
+	// kick (the kernel routes the completion IRQ to the owner here).
+	OnStart func(*Request)
+	// OnDone fires when the transfer finished (ok reports success).
+	OnDone func(*Request, bool)
+
+	warm      bool
+	submitted simclock.Cycles
+	readyAt   simclock.Cycles
+	seq       uint64
+	// pinned is the cache entry this request holds a pin on (nil for
+	// bypass fetches). Completion releases exactly this pin — looking the
+	// key up again would steal a pin from an entry inserted by a later
+	// request for the same image.
+	pinned *CacheEntry
+}
+
+// fill is one SD→cache staging read. entry is nil for a bypass fetch
+// (image did not fit the cache); waiters are the demand requests released
+// when the read lands.
+type fill struct {
+	key         uint32
+	length      uint32
+	entry       *CacheEntry
+	waiters     []*Request
+	speculative bool
+}
+
+// Stats counts pipeline-level outcomes (cache/queue/prefetch keep their
+// own).
+type Stats struct {
+	Requests    uint64 // demand requests submitted
+	Queued      uint64 // requests that waited for the PCAP channel
+	Completions uint64
+	Failures    uint64
+}
+
+// Pipeline owns the PCAP on behalf of the kernel: all managed
+// reconfigurations flow through Submit, and the device's completion hook
+// drains the queue.
+type Pipeline struct {
+	Clock   *simclock.Clock
+	Fabric  *pl.Fabric
+	Bus     *physmem.Bus
+	StorePA physmem.Addr
+
+	Cache    *Cache
+	Queue    *Queue
+	Prefetch *Prefetcher
+
+	// PrefetchOn gates speculative fills (history is learned regardless).
+	PrefetchOn bool
+
+	// Probes, when set, receives the reconfiguration latency samples
+	// (PhaseReconfigCold / PhaseReconfigWarm / PhaseReconfigQWait).
+	Probes *measure.Set
+
+	Stats Stats
+
+	active      *Request
+	fills       []*fill
+	fillRunning bool
+}
+
+// New builds a pipeline over the fabric's PCAP and installs its
+// completion hook. storePA is the physical base of the bitstream store.
+func New(clock *simclock.Clock, fabric *pl.Fabric, bus *physmem.Bus, storePA physmem.Addr, cfg Config) *Pipeline {
+	p := &Pipeline{
+		Clock:      clock,
+		Fabric:     fabric,
+		Bus:        bus,
+		StorePA:    storePA,
+		Cache:      NewCache(cfg.CacheBytes),
+		Queue:      NewQueue(),
+		Prefetch:   NewPrefetcher(),
+		PrefetchOn: cfg.Prefetch,
+	}
+	p.Cache.OnEvict = p.onEvict
+	fabric.PCAP.OnComplete = p.pcapComplete
+	return p
+}
+
+// SetCacheCapacity replaces the cache with an empty one of the given
+// budget (experiment sweeps resize before any traffic flows).
+func (p *Pipeline) SetCacheCapacity(bytes uint32) {
+	p.Cache = NewCache(bytes)
+	p.Cache.OnEvict = p.onEvict
+}
+
+func (p *Pipeline) onEvict(e *CacheEntry) {
+	if e.speculative {
+		p.Prefetch.Stats.Useless++
+	}
+}
+
+// Submit accepts a demand reconfiguration. It never blocks and never
+// rejects: the request proceeds through (optionally) an SD fill, then the
+// PCAP queue, then the download; OnDone fires at the end.
+func (p *Pipeline) Submit(r *Request) {
+	r.submitted = p.Clock.Now()
+	p.Stats.Requests++
+
+	e := p.Cache.Lookup(r.Key)
+	switch {
+	case e != nil && !e.loading:
+		// Warm hit: the image is staged; skip straight to the PCAP leg.
+		r.warm = true
+		if e.speculative {
+			e.speculative = false
+			p.Prefetch.Stats.Hits++
+		}
+		p.Cache.Pin(e)
+		r.pinned = e
+		p.Clock.Advance(cacheAdminCycles)
+		p.ready(r)
+
+	case e != nil:
+		// Coalesced miss: a fill for this image is already in flight —
+		// join it instead of re-reading the card.
+		p.Cache.Pin(e)
+		r.pinned = e
+		f := p.fillFor(r.Key)
+		if f == nil {
+			// Defensive: loading entry without a fill should not happen.
+			p.Cache.FillDone(e)
+			p.ready(r)
+			return
+		}
+		if f.speculative {
+			// The prefetch partially hid this fetch.
+			f.speculative = false
+			e.speculative = false
+			p.Prefetch.Stats.Hits++
+		}
+		f.waiters = append(f.waiters, r)
+
+	default:
+		// Cold miss: reserve a cache slot (may evict LRU images) and
+		// read the card. A nil entry means bypass — the image could not
+		// be cached but the fetch still has to happen.
+		e = p.Cache.Insert(r.Key, r.Len, false)
+		if e != nil {
+			p.Cache.Pin(e)
+			r.pinned = e
+		}
+		p.enqueueFill(&fill{key: r.Key, length: r.Len, entry: e, waiters: []*Request{r}})
+	}
+}
+
+// ready moves a request whose image is staged onto the PCAP channel, or
+// into the queue when a transfer is in flight.
+func (p *Pipeline) ready(r *Request) {
+	r.readyAt = p.Clock.Now()
+	if p.active == nil {
+		p.start(r)
+		return
+	}
+	p.Queue.Push(r)
+	p.Stats.Queued++
+}
+
+// start kicks the PCAP download for r.
+func (p *Pipeline) start(r *Request) {
+	p.active = r
+	if p.Probes != nil {
+		p.Probes.Add(measure.PhaseReconfigQWait, p.Clock.Now()-r.readyAt)
+	}
+	if r.OnStart != nil {
+		r.OnStart(r)
+	}
+	dc := physmem.DevCfgBase
+	_ = p.Bus.Write32(dc+pl.PCAPRegSrc, uint32(p.StorePA)+r.SrcOff)
+	_ = p.Bus.Write32(dc+pl.PCAPRegLen, r.Len)
+	_ = p.Bus.Write32(dc+pl.PCAPRegTarget, uint32(r.Target))
+	_ = p.Bus.Write32(dc+pl.PCAPRegCtrl, 1)
+	p.Clock.Advance(pcapProgramCycles)
+}
+
+// pcapComplete is the device completion hook: account the finished
+// request, feed the prefetcher, and drain the queue (demand work first,
+// then speculative fills in the idle window).
+func (p *Pipeline) pcapComplete(target int, ok bool) {
+	r := p.active
+	if r == nil || r.Target != target {
+		return // a transfer the pipeline did not launch (direct device use)
+	}
+	p.active = nil
+	if r.pinned != nil {
+		p.Cache.Unpin(r.pinned)
+		r.pinned = nil
+	}
+	if ok {
+		p.Stats.Completions++
+		p.Prefetch.Observe(r.Target, r.Key, r.Len)
+	} else {
+		p.Stats.Failures++
+	}
+	if p.Probes != nil {
+		phase := measure.PhaseReconfigCold
+		if r.warm {
+			phase = measure.PhaseReconfigWarm
+		}
+		p.Probes.Add(phase, p.Clock.Now()-r.submitted)
+	}
+	if r.OnDone != nil {
+		r.OnDone(r, ok)
+	}
+	if next := p.Queue.Pop(); next != nil {
+		p.start(next)
+		return
+	}
+	if ok {
+		p.maybePrefetch(r.Key)
+	}
+}
+
+// maybePrefetch issues a speculative cache fill for the predicted
+// successor of key, but only in an idle window: nothing queued, no
+// transfer active, and the SD channel free.
+func (p *Pipeline) maybePrefetch(key uint32) {
+	if !p.PrefetchOn || p.active != nil || p.Queue.Depth() > 0 || p.fillRunning {
+		return
+	}
+	next, length, ok := p.Prefetch.Predict(key)
+	if !ok || length == 0 || p.Cache.Peek(next) != nil {
+		return
+	}
+	e := p.Cache.Insert(next, length, true)
+	if e == nil {
+		return
+	}
+	p.Prefetch.Stats.Issued++
+	p.enqueueFill(&fill{key: next, length: length, entry: e, speculative: true})
+}
+
+// enqueueFill adds an SD read to the (single-channel) fill engine. Demand
+// fills jump ahead of waiting speculative ones; an in-flight read is
+// never aborted.
+func (p *Pipeline) enqueueFill(f *fill) {
+	if f.speculative {
+		p.fills = append(p.fills, f)
+	} else {
+		// Insert after the in-flight fill (index 0 when running) but
+		// before any speculative stragglers.
+		insert := 0
+		if p.fillRunning {
+			insert = 1
+		}
+		for insert < len(p.fills) && !p.fills[insert].speculative {
+			insert++
+		}
+		p.fills = append(p.fills, nil)
+		copy(p.fills[insert+1:], p.fills[insert:])
+		p.fills[insert] = f
+	}
+	if !p.fillRunning {
+		p.runFill()
+	}
+}
+
+func (p *Pipeline) runFill() {
+	f := p.fills[0]
+	p.fillRunning = true
+	p.Clock.After(SDFetchCycles(int(f.length)), func(simclock.Cycles) {
+		p.fillDone(f)
+	})
+}
+
+func (p *Pipeline) fillDone(f *fill) {
+	p.fills = p.fills[1:]
+	p.fillRunning = false
+	if f.entry != nil {
+		p.Cache.FillDone(f.entry)
+	}
+	for _, w := range f.waiters {
+		p.ready(w)
+	}
+	// ready() can re-enter the pipeline (a waiter's OnStart may submit a
+	// new request whose fill restarts the engine), so only kick the next
+	// read if no one else already has.
+	if !p.fillRunning && len(p.fills) > 0 {
+		p.runFill()
+	}
+}
+
+// fillFor returns the pending or in-flight fill for key, if any.
+func (p *Pipeline) fillFor(key uint32) *fill {
+	for _, f := range p.fills {
+		if f.key == key {
+			return f
+		}
+	}
+	return nil
+}
+
+// InFlight reports whether any demand request targeting PRR prr is still
+// somewhere in the pipeline (filling, queued, or downloading). The
+// Hardware Task Manager uses it to retire its Loading flags.
+func (p *Pipeline) InFlight(prr int) bool {
+	return p.anyDemand(func(r *Request) bool { return r.Target == prr })
+}
+
+// PendingFor reports whether owner has a request anywhere in the
+// pipeline — the guest-visible "reconfiguration in progress" poll.
+func (p *Pipeline) PendingFor(owner any) bool {
+	return p.anyDemand(func(r *Request) bool { return r.Owner == owner })
+}
+
+func (p *Pipeline) anyDemand(pred func(*Request) bool) bool {
+	if p.active != nil && pred(p.active) {
+		return true
+	}
+	if p.Queue.any(pred) {
+		return true
+	}
+	for _, f := range p.fills {
+		for _, w := range f.waiters {
+			if pred(w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Idle reports whether the pipeline has no demand work anywhere.
+func (p *Pipeline) Idle() bool {
+	return !p.anyDemand(func(*Request) bool { return true })
+}
+
+// HitRatio is the cache's demand hit ratio.
+func (p *Pipeline) HitRatio() float64 { return p.Cache.HitRatio() }
+
+// PublishCounters writes the pipeline's scalar statistics into a measure
+// set so sweeps report them alongside the latency probes.
+func (p *Pipeline) PublishCounters(set *measure.Set) {
+	cs, qs, fs := p.Cache.Stats, p.Queue.Stats, p.Prefetch.Stats
+	set.SetCounter("reconfig_cache_hits", float64(cs.Hits))
+	set.SetCounter("reconfig_cache_misses", float64(cs.Misses))
+	set.SetCounter("reconfig_cache_coalesced", float64(cs.Coalesced))
+	set.SetCounter("reconfig_cache_evictions", float64(cs.Evictions))
+	set.SetCounter("reconfig_cache_hit_ratio", p.HitRatio())
+	set.SetCounter("reconfig_queue_max_depth", float64(qs.MaxDepth))
+	set.SetCounter("reconfig_queue_mean_depth", p.Queue.MeanDepth())
+	set.SetCounter("reconfig_queued_starts", float64(p.Stats.Queued))
+	set.SetCounter("reconfig_prefetch_issued", float64(fs.Issued))
+	set.SetCounter("reconfig_prefetch_hits", float64(fs.Hits))
+	set.SetCounter("pcap_transfers", float64(p.Fabric.PCAP.Transfers))
+	set.SetCounter("pcap_errors", float64(p.Fabric.PCAP.Errors))
+}
+
+// Summary renders the one-line reconfiguration report the experiment
+// commands print after a sweep.
+func (p *Pipeline) Summary() string {
+	cs := p.Cache.Stats
+	return fmt.Sprintf(
+		"reconfig: pcap transfers=%d errors=%d | cache hits=%d misses=%d ratio=%.2f evictions=%d bypasses=%d | queue max=%d mean=%.2f queued=%d | prefetch issued=%d hits=%d useless=%d",
+		p.Fabric.PCAP.Transfers, p.Fabric.PCAP.Errors,
+		cs.Hits, cs.Misses, p.HitRatio(), cs.Evictions, cs.Bypasses,
+		p.Queue.Stats.MaxDepth, p.Queue.MeanDepth(), p.Stats.Queued,
+		p.Prefetch.Stats.Issued, p.Prefetch.Stats.Hits, p.Prefetch.Stats.Useless)
+}
