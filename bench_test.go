@@ -301,3 +301,29 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		sys.Kernel.Shutdown()
 	}
 }
+
+// BenchmarkSimThroughput measures the batched memory-path engine against
+// the scalar reference path on the Table III 4-VM configuration: simulated
+// milliseconds covered per host second (higher is better). The two paths
+// produce bit-identical simulated results (see cpu.TestBatchedScalarEquivalence);
+// this benchmark is the wall-clock half of that story and the source of
+// the BENCH_sim.json trajectory (cmd/experiments -bench).
+func BenchmarkSimThroughput(b *testing.B) {
+	simMs := 100.0
+	if testing.Short() {
+		simMs = 20.0
+	}
+	for _, scalar := range []bool{false, true} {
+		name := "batched"
+		if scalar {
+			name = "scalar"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := experiments.MeasureSimThroughput("table3_4vm", experiments.DefaultConfig(), simMs, scalar, 1)
+				b.ReportMetric(res.SimMsPerHostS, "sim_ms/host_s")
+				b.ReportMetric(res.MIPS, "sim_mips")
+			}
+		})
+	}
+}

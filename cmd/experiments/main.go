@@ -11,6 +11,7 @@
 //	go run ./cmd/experiments -footprint # just the scalars
 //	go run ./cmd/experiments -dualcore  # dual-core offload comparison
 //	go run ./cmd/experiments -reconfig  # reconfiguration-pipeline sweep
+//	go run ./cmd/experiments -bench     # simulator wall-clock benchmarks -> BENCH_sim.json
 //	go run ./cmd/experiments -iters 40 -guests 4
 package main
 
@@ -24,21 +25,35 @@ import (
 
 func main() {
 	var (
-		table3    = flag.Bool("table3", false, "reproduce Table III")
-		fig9      = flag.Bool("fig9", false, "reproduce Figure 9 (runs Table III)")
-		footprint = flag.Bool("footprint", false, "report the Section V-B scalars")
-		dualcore  = flag.Bool("dualcore", false, "compare the CPU0-only deployment with the dual-core partitioning")
-		reconfig  = flag.Bool("reconfig", false, "run the reconfiguration-pipeline sweep (cache/queue/prefetch)")
-		cacheKB   = flag.Uint("cachekb", 0, "override the bitstream cache budget in KB (0 = default 1024)")
-		guests    = flag.Int("guests", 4, "maximum number of guest VMs")
-		iters     = flag.Int("iters", 24, "measured hardware-task requests per guest")
-		warmup    = flag.Int("warmup", 4, "warm-up requests per guest before measuring")
-		quantum   = flag.Float64("quantum", 33, "guest time slice in ms (paper: 33)")
-		gap       = flag.Int("gap", 31, "T_hw request gap in guest ticks")
-		seed      = flag.Uint("seed", 1, "task-selection seed")
+		table3     = flag.Bool("table3", false, "reproduce Table III")
+		fig9       = flag.Bool("fig9", false, "reproduce Figure 9 (runs Table III)")
+		footprint  = flag.Bool("footprint", false, "report the Section V-B scalars")
+		dualcore   = flag.Bool("dualcore", false, "compare the CPU0-only deployment with the dual-core partitioning")
+		reconfig   = flag.Bool("reconfig", false, "run the reconfiguration-pipeline sweep (cache/queue/prefetch)")
+		bench      = flag.Bool("bench", false, "run the simulator wall-clock benchmarks (batched vs scalar memory path)")
+		benchOut   = flag.String("bench-out", "BENCH_sim.json", "where -bench writes its JSON report")
+		benchShort = flag.Bool("bench-short", false, "reduced-horizon benchmark run (CI smoke)")
+		cacheKB    = flag.Uint("cachekb", 0, "override the bitstream cache budget in KB (0 = default 1024)")
+		guests     = flag.Int("guests", 4, "maximum number of guest VMs")
+		iters      = flag.Int("iters", 24, "measured hardware-task requests per guest")
+		warmup     = flag.Int("warmup", 4, "warm-up requests per guest before measuring")
+		quantum    = flag.Float64("quantum", 33, "guest time slice in ms (paper: 33)")
+		gap        = flag.Int("gap", 31, "T_hw request gap in guest ticks")
+		seed       = flag.Uint("seed", 1, "task-selection seed")
 	)
 	flag.Parse()
-	all := !*table3 && !*fig9 && !*footprint && !*dualcore && !*reconfig
+	all := !*table3 && !*fig9 && !*footprint && !*dualcore && !*reconfig && !*bench
+
+	if *bench {
+		fmt.Printf("running simulator wall-clock benchmarks (short=%v)...\n", *benchShort)
+		rep := experiments.RunSimBench(*benchShort)
+		fmt.Println(rep)
+		if err := rep.WriteJSON(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Guests = *guests

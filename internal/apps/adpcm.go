@@ -59,7 +59,16 @@ func clamp16(v int32) int32 {
 // EncodeADPCM compresses PCM samples to 4-bit codes (two per byte). The
 // state advances so consecutive frames are continuous.
 func EncodeADPCM(st *ADPCMState, pcm []int16) []byte {
-	out := make([]byte, (len(pcm)+1)/2)
+	return AppendADPCM(st, pcm, make([]byte, 0, (len(pcm)+1)/2))
+}
+
+// AppendADPCM is the allocation-free form of EncodeADPCM: it appends the
+// packed codes to dst and returns the extended slice, so a steady-state
+// workload can reuse one scratch buffer across frames.
+func AppendADPCM(st *ADPCMState, pcm []int16, dst []byte) []byte {
+	base := len(dst)
+	dst = append(dst, make([]byte, (len(pcm)+1)/2)...)
+	out := dst[base:]
 	for i, s := range pcm {
 		code := encodeSample(st, int32(s))
 		if i%2 == 0 {
@@ -68,7 +77,7 @@ func EncodeADPCM(st *ADPCMState, pcm []int16) []byte {
 			out[i/2] |= code << 4
 		}
 	}
-	return out
+	return dst
 }
 
 func encodeSample(st *ADPCMState, sample int32) byte {
@@ -79,18 +88,27 @@ func encodeSample(st *ADPCMState, sample int32) byte {
 		code = 8
 		diff = -diff
 	}
+	// Quantize and reconstruct in one pass: d accumulates exactly
+	// dequantize(code, step), term by term, as the code bits are decided.
+	d := step >> 3
 	if diff >= step {
 		code |= 4
 		diff -= step
+		d += step
 	}
 	if diff >= step>>1 {
 		code |= 2
 		diff -= step >> 1
+		d += step >> 1
 	}
 	if diff >= step>>2 {
 		code |= 1
+		d += step >> 2
 	}
-	st.Predicted = clamp16(st.Predicted + dequantize(code, step))
+	if code&8 != 0 {
+		d = -d
+	}
+	st.Predicted = clamp16(st.Predicted + d)
 	st.Index = clampIndex(st.Index + imaIndexTable[code])
 	return byte(code)
 }

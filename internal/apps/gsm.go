@@ -25,6 +25,14 @@ type GSMState struct {
 // EncodeGSMFrame consumes exactly GSMFrameSamples PCM samples and emits a
 // GSMEncodedBytes packed frame.
 func EncodeGSMFrame(st *GSMState, pcm []int16) []byte {
+	return AppendGSMFrame(st, pcm, make([]byte, 0, GSMEncodedBytes))
+}
+
+// AppendGSMFrame is the allocation-free form of EncodeGSMFrame: it appends
+// the packed frame to dst and returns the extended slice (the last
+// GSMEncodedBytes of which are the frame), so a steady-state workload can
+// reuse one scratch buffer across frames.
+func AppendGSMFrame(st *GSMState, pcm []int16, dst []byte) []byte {
 	if len(pcm) != GSMFrameSamples {
 		panic("apps: GSM frame must be 160 samples")
 	}
@@ -100,7 +108,8 @@ func EncodeGSMFrame(st *GSMState, pcm []int16) []byte {
 
 	// 6. Per-subframe regular-pulse selection: grid offset with maximum
 	// energy, then 3-bit quantized pulses (13 per 40-sample subframe).
-	out := make([]byte, 0, GSMEncodedBytes)
+	base0 := len(dst)
+	out := dst
 	for i := range lar {
 		out = append(out, lar[i])
 	}
@@ -153,10 +162,10 @@ func EncodeGSMFrame(st *GSMState, pcm []int16) []byte {
 	for i := 0; i < 120; i++ {
 		st.ltp[i] = int16(clamp16(d[i+40] >> 3))
 	}
-	if len(out) < GSMEncodedBytes {
-		out = append(out, make([]byte, GSMEncodedBytes-len(out))...)
+	for len(out)-base0 < GSMEncodedBytes {
+		out = append(out, 0)
 	}
-	return out[:GSMEncodedBytes]
+	return out[:base0+GSMEncodedBytes]
 }
 
 func max64(a, b int64) int64 {

@@ -25,6 +25,7 @@ type GSMWorkload struct {
 	pos    int
 	frames uint64
 	digest uint64
+	enc    []byte // scratch: one encoded frame, reused across Steps
 
 	// Span is the charged working-set size: the input stream advances
 	// circularly through [bufVA, bufVA+Span), so a running workload
@@ -51,8 +52,8 @@ func (w *GSMWorkload) Step(ctx *cpu.ExecContext, bufVA uint32) {
 	frame := w.input[w.pos : w.pos+GSMFrameSamples]
 	w.pos += GSMFrameSamples
 
-	enc := EncodeGSMFrame(&w.st, frame)
-	for _, b := range enc {
+	w.enc = AppendGSMFrame(&w.st, frame, w.enc[:0])
+	for _, b := range w.enc {
 		w.digest = w.digest*131 + uint64(b)
 	}
 	w.frames++
@@ -63,13 +64,13 @@ func (w *GSMWorkload) Step(ctx *cpu.ExecContext, bufVA uint32) {
 	// on the frame counter so it sweeps the whole Span even though the
 	// synthetic source signal is shorter.
 	inOff := uint32(w.frames*GSMFrameSamples*2) % w.Span
-	ctx.TouchRange(bufVA+inOff, GSMFrameSamples*2, 8, false)
+	ctx.StreamRange(bufVA+inOff, GSMFrameSamples*2, 8, false)
 	ctx.Exec(1600) // preprocess + autocorrelation
 	ctx.Exec(900)  // Schur + LAR
 	ctx.Exec(2200) // short-term filtering
 	ctx.Exec(800)  // RPE selection + packing
 	outOff := uint32(w.frames*GSMEncodedBytes) % (w.Span / 4)
-	ctx.TouchRange(bufVA+w.Span+outOff, GSMEncodedBytes, 8, true)
+	ctx.StreamRange(bufVA+w.Span+outOff, GSMEncodedBytes, 8, true)
 }
 
 // Output implements Workload.
@@ -85,6 +86,7 @@ type ADPCMWorkload struct {
 	pos    int
 	blocks uint64
 	digest uint64
+	enc    []byte // scratch: one encoded block, reused across Steps
 
 	// Span is the charged circular working-set size (default 64 KB).
 	Span uint32
@@ -109,8 +111,8 @@ func (w *ADPCMWorkload) Step(ctx *cpu.ExecContext, bufVA uint32) {
 	block := w.input[w.pos : w.pos+ADPCMBlockSamples]
 	w.pos += ADPCMBlockSamples
 
-	enc := EncodeADPCM(&w.st, block)
-	for _, b := range enc {
+	w.enc = AppendADPCM(&w.st, block, w.enc[:0])
+	for _, b := range w.enc {
 		w.digest = w.digest*131 + uint64(b)
 	}
 	w.blocks++
@@ -118,10 +120,10 @@ func (w *ADPCMWorkload) Step(ctx *cpu.ExecContext, bufVA uint32) {
 	// ~8 instructions per sample + table lookups; stream in PCM at the
 	// moving input cursor, out codes at the moving output cursor.
 	inOff := uint32(w.blocks*ADPCMBlockSamples*2) % w.Span
-	ctx.TouchRange(bufVA+inOff, ADPCMBlockSamples*2, 8, false)
+	ctx.StreamRange(bufVA+inOff, ADPCMBlockSamples*2, 8, false)
 	ctx.Exec(ADPCMBlockSamples * 8)
 	outOff := uint32(w.blocks*ADPCMBlockSamples/2) % (w.Span / 4)
-	ctx.TouchRange(bufVA+w.Span+outOff, ADPCMBlockSamples/2, 8, true)
+	ctx.StreamRange(bufVA+w.Span+outOff, ADPCMBlockSamples/2, 8, true)
 }
 
 // Output implements Workload.
@@ -149,7 +151,7 @@ func (w *MemoryHogWorkload) Name() string { return "memory-hog" }
 // Step implements Workload: one 8 KB pass per call, 64-byte stride.
 func (w *MemoryHogWorkload) Step(ctx *cpu.ExecContext, bufVA uint32) {
 	chunk := uint32(8 << 10)
-	ctx.TouchRange(bufVA+w.offset, chunk, 64, w.passes%2 == 1)
+	ctx.StreamRange(bufVA+w.offset, chunk, 64, w.passes%2 == 1)
 	ctx.Exec(256)
 	w.offset += chunk
 	if w.offset >= w.size {

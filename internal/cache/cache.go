@@ -63,14 +63,20 @@ const (
 )
 
 // Cache is one set-associative, write-back, write-allocate cache level.
+// Lines live in one contiguous backing array (set-major: set*ways+way) and
+// are indexed by shift/mask arithmetic — no per-set slice headers on the
+// per-access hot path.
 type Cache struct {
-	name   string
-	sets   []([]line)
-	ways   int
-	stamp  uint64
-	rng    uint32
-	policy Policy
-	stats  Stats
+	name     string
+	lines    []line // nsets × ways, flat
+	ways     int
+	setMask  uint32 // nsets - 1
+	setShift uint   // log2(nsets); tag = lineAddr >> setShift
+	stamp    uint64
+	rng      uint32
+	policy   Policy
+	stats    Stats
+	epoch    uint64 // bumped on every fill/invalidate (residency mutation)
 }
 
 // New builds a cache of sizeBytes with the given associativity and
@@ -86,11 +92,15 @@ func New(name string, sizeBytes, ways int) *Cache {
 	if nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, nsets))
 	}
-	c := &Cache{name: name, ways: ways, sets: make([][]line, nsets), rng: 0x2545F491}
-	for i := range c.sets {
-		c.sets[i] = make([]line, ways)
+	shift := uint(0)
+	for 1<<shift < nsets {
+		shift++
 	}
-	return c
+	return &Cache{
+		name: name, ways: ways,
+		lines: make([]line, nsets*ways), setMask: uint32(nsets - 1), setShift: shift,
+		rng: 0x2545F491,
+	}
 }
 
 // NewLRU builds a cache with strict LRU replacement (for ablations).
@@ -109,70 +119,121 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the counters without touching cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-func (c *Cache) index(pa physmem.Addr) (set int, tag uint32) {
+// set returns the flat slice of ways backing pa's set, plus the tag.
+func (c *Cache) set(pa physmem.Addr) (ways []line, set, tag uint32) {
 	lineAddr := uint32(pa) >> lineShift
-	set = int(lineAddr) & (len(c.sets) - 1)
-	tag = lineAddr / uint32(len(c.sets))
-	return
+	set = lineAddr & c.setMask
+	tag = lineAddr >> c.setShift
+	base := int(set) * c.ways
+	return c.lines[base : base+c.ways], set, tag
+}
+
+// Victim describes the line displaced by a missing Access: its own
+// line-aligned address (reconstructed from tag+set) and whether it was
+// dirty. Valid is false when the miss filled an invalid way (no eviction).
+type Victim struct {
+	Addr  physmem.Addr
+	Dirty bool
+	Valid bool
 }
 
 // Access looks up pa; on a miss it allocates the line, evicting LRU.
-// It returns hit, and whether the eviction wrote back a dirty line (the
-// caller charges writeback cost to the next level).
-func (c *Cache) Access(pa physmem.Addr, write bool) (hit, writeback bool) {
-	set, tag := c.index(pa)
-	c.stamp++
-	lines := c.sets[set]
-	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
-			lines[i].lru = c.stamp
-			if write {
-				lines[i].dirty = true
-			}
-			c.stats.Hits++
-			return true, false
-		}
+// It returns hit, whether the eviction wrote back a dirty line (the
+// caller charges writeback cost to the next level), and the victim line
+// info so the next level can be charged at the victim's own address.
+func (c *Cache) Access(pa physmem.Addr, write bool) (hit, writeback bool, victim Victim) {
+	if c.probeHit(pa, write) {
+		return true, false, Victim{}
+	}
+	writeback, victim = c.fill(pa, write)
+	return false, writeback, victim
+}
+
+// fill handles the miss half of Access: allocate pa's line, evicting by
+// policy, and report the displaced victim. The caller must have probed and
+// missed (probeHit) with no intervening mutation.
+func (c *Cache) fill(pa physmem.Addr, write bool) (writeback bool, victim Victim) {
+	ws, set, tag := c.set(pa)
+	// The lru stamps are consulted only under PolicyLRU; the pseudo-random
+	// default picks victims from the rng stream, so skipping the stamp
+	// maintenance there changes no simulated observable.
+	if c.policy == PolicyLRU {
+		c.stamp++
 	}
 	c.stats.Misses++
+	c.epoch++ // the fill below changes which lines are resident
 	// Choose a victim: invalid ways first, then by policy.
-	victim := -1
-	for i := range lines {
-		if !lines[i].valid {
-			victim = i
+	way := -1
+	for i := range ws {
+		if !ws[i].valid {
+			way = i
 			break
 		}
 	}
-	if victim < 0 {
+	if way < 0 {
 		if c.policy == PolicyLRU {
-			victim = 0
-			for i := range lines {
-				if lines[i].lru < lines[victim].lru {
-					victim = i
+			way = 0
+			for i := range ws {
+				if ws[i].lru < ws[way].lru {
+					way = i
 				}
 			}
 		} else {
 			c.rng ^= c.rng << 13
 			c.rng ^= c.rng >> 17
 			c.rng ^= c.rng << 5
-			victim = int(c.rng) & (c.ways - 1)
+			way = int(c.rng) & (c.ways - 1)
 		}
 		c.stats.Evictions++
-		if lines[victim].dirty {
+		v := &ws[way]
+		victim = Victim{
+			Addr:  physmem.Addr((v.tag<<c.setShift | set) << lineShift),
+			Dirty: v.dirty,
+			Valid: true,
+		}
+		if v.dirty {
 			c.stats.Writebacks++
 			writeback = true
 		}
-		lines[victim] = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
-		return false, writeback
 	}
-	lines[victim] = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
-	return false, writeback
+	ws[way] = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
+	return writeback, victim
+}
+
+// HitRun records n repeat accesses to pa's resident line in one step: the
+// resulting line state (lru stamp, dirty bit) and stats are bit-identical
+// to n consecutive Access calls that all hit. The batched memory path uses
+// it to collapse same-line streaming accesses into one probe. If the line
+// is unexpectedly absent it degrades to n real Access calls, preserving
+// exact scalar semantics.
+func (c *Cache) HitRun(pa physmem.Addr, write bool, n int) {
+	if n <= 0 {
+		return
+	}
+	ws, _, tag := c.set(pa)
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			if c.policy == PolicyLRU {
+				c.stamp += uint64(n)
+				ws[i].lru = c.stamp
+			}
+			if write {
+				ws[i].dirty = true
+			}
+			c.stats.Hits += uint64(n)
+			return
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.Access(pa, write)
+	}
 }
 
 // Contains reports whether pa's line is resident (no LRU side effect).
 func (c *Cache) Contains(pa physmem.Addr) bool {
-	set, tag := c.index(pa)
-	for _, l := range c.sets[set] {
-		if l.valid && l.tag == tag {
+	ws, _, tag := c.set(pa)
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
 			return true
 		}
 	}
@@ -183,11 +244,10 @@ func (c *Cache) Contains(pa physmem.Addr) bool {
 // invalidate-all maintenance op; Mini-NOVA uses clean+invalidate only on
 // explicit guest cache hypercalls).
 func (c *Cache) InvalidateAll() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
+	c.epoch++
 	c.stats.Flushes++
 }
 
@@ -195,15 +255,14 @@ func (c *Cache) InvalidateAll() {
 // returning the number of lines written back.
 func (c *Cache) CleanInvalidateAll() int {
 	wb := 0
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].valid && c.sets[s][w].dirty {
-				wb++
-				c.stats.Writebacks++
-			}
-			c.sets[s][w] = line{}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			wb++
+			c.stats.Writebacks++
 		}
+		c.lines[i] = line{}
 	}
+	c.epoch++
 	c.stats.Flushes++
 	return wb
 }
@@ -211,26 +270,45 @@ func (c *Cache) CleanInvalidateAll() int {
 // InvalidateLine drops the line containing pa, returning whether it was
 // dirty (caller decides on writeback cost).
 func (c *Cache) InvalidateLine(pa physmem.Addr) (wasDirty bool) {
-	set, tag := c.index(pa)
-	for w := range c.sets[set] {
-		l := &c.sets[set][w]
-		if l.valid && l.tag == tag {
-			wasDirty = l.dirty
-			*l = line{}
+	ws, _, tag := c.set(pa)
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			wasDirty = ws[i].dirty
+			ws[i] = line{}
+			c.epoch++
 			return
 		}
 	}
 	return false
 }
 
+// Epoch is a monotonic counter of residency mutations: it advances on
+// every fill and every invalidation, and on nothing else. A caller that
+// proved a set of lines resident at epoch E may treat them as still
+// resident exactly while Epoch() == E.
+func (c *Cache) Epoch() uint64 { return c.epoch }
+
+// ReplacementPolicy reports the cache's victim-selection policy.
+func (c *Cache) ReplacementPolicy() Policy { return c.policy }
+
+// BulkHits records n guaranteed-hit read probes of resident lines without
+// touching them. Under PolicyRandom a hitting read probe's only effect is
+// the hit counter (no lru, no dirty change), so this is bit-identical to n
+// scalar probes of lines the caller has proven resident (see Epoch). It
+// must not be used on PolicyLRU caches, whose hits reorder the stamps.
+func (c *Cache) BulkHits(n int) {
+	if c.policy == PolicyLRU {
+		panic("cache: BulkHits on an LRU cache would skip lru maintenance")
+	}
+	c.stats.Hits += uint64(n)
+}
+
 // ResidentLines counts valid lines (used by tests and the footprint report).
 func (c *Cache) ResidentLines() int {
 	n := 0
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
 		}
 	}
 	return n
@@ -281,30 +359,61 @@ func NewA9SharedL2(n int) []*Hierarchy {
 	return hs
 }
 
+// probeHit is the lean L1-hit fast path: on a hit it performs exactly the
+// bookkeeping Access would (stats, dirty, lru under PolicyLRU) and returns
+// true; on a miss it touches nothing, so the caller's follow-up Access
+// observes an unchanged set and does the single miss accounting itself.
+func (c *Cache) probeHit(pa physmem.Addr, write bool) bool {
+	lineAddr := uint32(pa) >> lineShift
+	base := int(lineAddr&c.setMask) * c.ways
+	tag := lineAddr >> c.setShift
+	ws := c.lines[base : base+c.ways]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			if c.policy == PolicyLRU {
+				c.stamp++
+				ws[i].lru = c.stamp
+			}
+			if write {
+				ws[i].dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	return false
+}
+
 // FetchCost runs an instruction fetch at pa through L1I/L2 and returns the
 // additional cycle cost (0 on L1 hit).
 func (h *Hierarchy) FetchCost(pa physmem.Addr) uint64 {
+	if h.L1I.probeHit(pa, false) {
+		return 0
+	}
 	return h.cost(h.L1I, pa, false)
 }
 
 // DataCost runs a data access at pa through L1D/L2 and returns the
 // additional cycle cost.
 func (h *Hierarchy) DataCost(pa physmem.Addr, write bool) uint64 {
+	if h.L1D.probeHit(pa, write) {
+		return 0
+	}
 	return h.cost(h.L1D, pa, write)
 }
 
+// cost handles the L1-miss path; the caller has already probed l1 and
+// missed, so the line is filled directly and the L2 traffic charged.
 func (h *Hierarchy) cost(l1 *Cache, pa physmem.Addr, write bool) uint64 {
-	hit, wb := l1.Access(pa, write)
-	if hit {
-		return 0
-	}
+	wb, victim := l1.fill(pa, write)
 	var cost uint64
 	if wb {
 		cost += PenaltyWB
-		// the victim drains into L2; model as an L2 write touch
-		h.L2.Access(pa, true)
+		// The dirty victim drains into L2 at its *own* line address (it
+		// rarely shares a line with the incoming pa that displaced it).
+		h.L2.Access(victim.Addr, true)
 	}
-	l2hit, l2wb := h.L2.Access(pa, write)
+	l2hit, l2wb, _ := h.L2.Access(pa, write)
 	if l2hit {
 		return cost + PenaltyL2Hit
 	}
@@ -317,7 +426,7 @@ func (h *Hierarchy) cost(l1 *Cache, pa physmem.Addr, write bool) uint64 {
 // WalkCost charges a hardware page-table walk access (bypasses L1, uses L2,
 // as the A9 walker does when page tables are marked outer-cacheable).
 func (h *Hierarchy) WalkCost(pa physmem.Addr) uint64 {
-	hit, wb := h.L2.Access(pa, false)
+	hit, wb, _ := h.L2.Access(pa, false)
 	var cost uint64
 	if wb {
 		cost += PenaltyWB

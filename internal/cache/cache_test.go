@@ -10,16 +10,16 @@ import (
 func TestMissThenHit(t *testing.T) {
 	c := New("t", 32<<10, 4)
 	pa := physmem.Addr(0x10_0000)
-	if hit, _ := c.Access(pa, false); hit {
+	if hit, _, _ := c.Access(pa, false); hit {
 		t.Error("first access hit a cold cache")
 	}
-	if hit, _ := c.Access(pa, false); !hit {
+	if hit, _, _ := c.Access(pa, false); !hit {
 		t.Error("second access missed")
 	}
-	if hit, _ := c.Access(pa+LineSize-1, false); !hit {
+	if hit, _, _ := c.Access(pa+LineSize-1, false); !hit {
 		t.Error("same-line access missed")
 	}
-	if hit, _ := c.Access(pa+LineSize, false); hit {
+	if hit, _, _ := c.Access(pa+LineSize, false); hit {
 		t.Error("next-line access hit")
 	}
 }
@@ -47,13 +47,89 @@ func TestDirtyWriteback(t *testing.T) {
 	c := New("t", 2*LineSize, 2) // one set, 2 ways
 	c.Access(0x10_0000, true)    // dirty
 	c.Access(0x20_0000, false)
-	_, wb := c.Access(0x30_0000, false) // evicts the dirty line
-	if !wb {
-		t.Error("evicting dirty line did not report writeback")
+	_, wb, victim := c.Access(0x30_0000, false) // evicts one of the two
+	if !victim.Valid {
+		t.Fatal("eviction from a full set did not report a victim")
+	}
+	if victim.Addr != 0x10_0000 && victim.Addr != 0x20_0000 {
+		t.Errorf("victim addr = %#x, want one of the two resident lines", victim.Addr)
+	}
+	if wb != victim.Dirty || (victim.Addr == 0x10_0000) != victim.Dirty {
+		t.Errorf("victim = %+v, wb = %v: dirtiness must match the evicted line", victim, wb)
 	}
 	st := c.Stats()
-	if st.Writebacks != 1 {
-		t.Errorf("Writebacks = %d, want 1", st.Writebacks)
+	if st.Writebacks != uint64(b2i(wb)) {
+		t.Errorf("Writebacks = %d, want %d", st.Writebacks, b2i(wb))
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// The victim's reported address must reconstruct exactly the line that was
+// displaced, across many sets and tags.
+func TestVictimAddressReconstruction(t *testing.T) {
+	c := NewLRU("t", 4<<10, 2) // 64 sets, deterministic victims
+	base := physmem.Addr(0x10_0000)
+	conflict := physmem.Addr(2 << 10) // same set, different tag (64 sets * 32B)
+	for i := 0; i < 10; i++ {
+		pa := base + physmem.Addr(i)*LineSize
+		c.Access(pa, true)
+		c.Access(pa+conflict, false)
+		_, wb, victim := c.Access(pa+2*conflict, false) // evicts LRU = pa
+		if !victim.Valid || victim.Addr != pa || !victim.Dirty || !wb {
+			t.Fatalf("victim = %+v wb=%v, want dirty line at %#x", victim, wb, pa)
+		}
+	}
+}
+
+// HitRun(n) must leave state and stats bit-identical to n hitting Accesses.
+func TestHitRunEquivalence(t *testing.T) {
+	a, b := New("a", 1<<10, 2), New("b", 1<<10, 2)
+	pa := physmem.Addr(0x10_0040)
+	a.Access(pa, false)
+	b.Access(pa, false)
+	// a: five scalar accesses, the fourth a write.
+	for i := 0; i < 5; i++ {
+		a.Access(pa, i == 3)
+	}
+	// b: the same five accesses with the repeat hits collapsed.
+	b.Access(pa, false) // first of run probes for real
+	b.HitRun(pa, false, 2)
+	b.Access(pa, true)
+	b.HitRun(pa, false, 1)
+	a.Access(pa, false) // trailing access on both to expose stamp skew
+	b.Access(pa, false)
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.stamp != b.stamp {
+		t.Errorf("stamp diverged: %d vs %d", a.stamp, b.stamp)
+	}
+	al, _, atag := a.set(pa)
+	bl, _, btag := b.set(pa)
+	if atag != btag {
+		t.Fatal("tag mismatch")
+	}
+	for i := range al {
+		if al[i] != bl[i] {
+			t.Errorf("way %d diverged: %+v vs %+v", i, al[i], bl[i])
+		}
+	}
+}
+
+// HitRun on a non-resident line must degrade to real accesses (missing,
+// allocating), never silently fabricate hits.
+func TestHitRunNotResident(t *testing.T) {
+	c := New("t", 1<<10, 2)
+	c.HitRun(0x10_0000, false, 3)
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 miss then 2 hits", st)
 	}
 }
 
@@ -122,6 +198,28 @@ func TestHierarchyCosts(t *testing.T) {
 	// pa now out of L1 (LRU victim) but still in L2.
 	if got := h.DataCost(pa, false); got != PenaltyL2Hit {
 		t.Errorf("L2 hit cost = %d, want %d", got, PenaltyL2Hit)
+	}
+}
+
+// A dirty L1 victim must drain into L2 at the victim line's own address,
+// not at the incoming access's address (regression test for the
+// Hierarchy.cost modelling bug).
+func TestDirtyVictimDrainsAtOwnAddress(t *testing.T) {
+	h := &Hierarchy{
+		L1I: New("i", 2*LineSize, 2),
+		L1D: NewLRU("d", 2*LineSize, 2), // one set: deterministic victims
+		L2:  New("l2", 8<<10, 4),
+	}
+	pa1, pa2, pa3 := physmem.Addr(0x10_0000), physmem.Addr(0x11_0000), physmem.Addr(0x12_0000)
+	h.DataCost(pa1, false) // L1+L2 fill, both clean
+	h.DataCost(pa1, true)  // L1 hit: dirty in L1 only
+	h.DataCost(pa2, false)
+	h.DataCost(pa3, false) // evicts pa1 (LRU): the dirty victim drains
+	if dirty := h.L2.InvalidateLine(pa1); !dirty {
+		t.Error("dirty L1 victim did not drain into L2 at its own address")
+	}
+	if dirty := h.L2.InvalidateLine(pa3); dirty {
+		t.Error("incoming read line marked dirty in L2 (drain charged at the wrong address)")
 	}
 }
 

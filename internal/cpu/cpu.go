@@ -152,6 +152,12 @@ type CPU struct {
 
 	VFPEnabled bool // CP10/11 enable: cleared on VM switch for lazy VFP
 
+	// ScalarMemPath forces the reference per-access memory path in place
+	// of the batched streaming engine (see exec.go). The two are
+	// bit-identical in simulated results; the flag exists for the
+	// equivalence tests and the wall-clock speedup benchmarks.
+	ScalarMemPath bool
+
 	Vectors Vectors
 
 	// generation invalidates ExecContext micro-TLBs on any translation-

@@ -3,6 +3,7 @@ package cpu
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/mmu"
 	"repro/internal/physmem"
 	"repro/internal/simclock"
@@ -45,6 +46,14 @@ type ExecContext struct {
 	dMicro [microTLBSize]microEntry
 	dNext  int
 
+	// I-side residency streak: iClean counts consecutive zero-miss fetch
+	// bytes observed while the L1I's residency epoch stayed at iEpoch.
+	// Once it reaches CodeSize, every line of the (32-byte-multiple) code
+	// range is proven resident and fetch probes are guaranteed hits until
+	// the epoch moves — the batched Exec bulk-charges them (see Exec).
+	iEpoch uint64
+	iClean uint32
+
 	// Stalled is set when an unrecovered abort occurred; the owner (VM or
 	// kernel) decides what to do with a stalled context.
 	Stalled bool
@@ -81,19 +90,7 @@ func (e *ExecContext) translate(va uint32, write, fetch bool) (physmem.Addr, boo
 	page := va >> 12
 	priv := e.CPU.Mode.Privileged()
 
-	var hit *microEntry
-	if fetch {
-		if e.iMicro.valid && e.iMicro.page == page {
-			hit = &e.iMicro
-		}
-	} else {
-		for i := range e.dMicro {
-			if e.dMicro[i].valid && e.dMicro[i].page == page {
-				hit = &e.dMicro[i]
-				break
-			}
-		}
-	}
+	hit := e.microLookup(page, fetch)
 	if hit != nil {
 		// micro hit: charge nothing, but recheck domain/AP.
 		if okDomainAP(m, hit.tr, priv, write) {
@@ -128,6 +125,44 @@ func (e *ExecContext) translate(va uint32, write, fetch bool) (physmem.Addr, boo
 	return 0, false
 }
 
+// microLookup is the pure micro-TLB scan: no cycle cost, no stats, no state
+// change. Both the scalar translate and the batched engine's page-coverage
+// check share it so their micro-hit decisions are identical by construction.
+func (e *ExecContext) microLookup(page uint32, fetch bool) *microEntry {
+	if fetch {
+		if e.iMicro.valid && e.iMicro.page == page {
+			return &e.iMicro
+		}
+		return nil
+	}
+	for i := range e.dMicro {
+		if e.dMicro[i].valid && e.dMicro[i].page == page {
+			return &e.dMicro[i]
+		}
+	}
+	return nil
+}
+
+// pageCover reports whether further accesses to va's 4 KB page may skip the
+// scalar translate entirely: exactly when the micro-TLB covers the page and
+// the DACR/AP recheck passes — the scalar path's zero-cost, zero-stat,
+// side-effect-free case. It returns the page-base physical address. The
+// batched engine re-validates this after every clock synchronization, since
+// event handlers may flush TLBs, bump the translation generation or rewrite
+// the DACR.
+func (e *ExecContext) pageCover(va uint32, write, fetch bool) (physmem.Addr, bool) {
+	m := e.CPU.MMU
+	if !m.Enabled {
+		return physmem.Addr(va &^ 0xFFF), true
+	}
+	e.checkGen()
+	hit := e.microLookup(va>>12, fetch)
+	if hit == nil || !okDomainAP(m, hit.tr, e.CPU.Mode.Privileged(), write) {
+		return 0, false
+	}
+	return hit.tr.PhysAddr(va) &^ 0xFFF, true
+}
+
 func okDomainAP(m *mmu.MMU, tr tlb.Translation, priv, write bool) bool {
 	switch m.DomainAccess(tr.Domain) {
 	case 1: // client
@@ -146,16 +181,129 @@ func okDomainAP(m *mmu.MMU, tr tlb.Translation, priv, write bool) bool {
 	return false
 }
 
+// advanceCursor steps the fetch cursor one I-line forward, wrapping on the
+// actual code size: a range that is not a multiple of the 32-byte line
+// keeps its cyclic phase instead of overshooting past the end and snapping
+// back to offset 0 (which skewed the post-wrap line addresses).
+func (e *ExecContext) advanceCursor() {
+	e.cursor += instrPerLine * 4
+	if e.cursor >= e.CodeSize {
+		e.cursor %= e.CodeSize
+	}
+}
+
 // Exec charges n abstract instructions: issue cycles plus I-side fetch
 // traffic walking the component's code range, then samples the IRQ line.
+//
+// The fetch loop runs on the batched engine: the code page is translated
+// once per 4 KB crossed, the cycle cost of the line probes accumulates
+// locally, and the clock is synchronized whenever the accumulated window
+// would cross the next pending event deadline — so handlers fire at their
+// exact instants and the simulated result is bit-identical to the scalar
+// per-line loop (execScalar, kept as the reference path).
 func (e *ExecContext) Exec(n int) {
 	if e.Stalled || n <= 0 {
 		return
 	}
+	if e.CPU.ScalarMemPath {
+		e.execScalar(n)
+		return
+	}
+	c := e.CPU
+	clk := c.Clock
+	c.stats.Instructions += uint64(n)
+	clk.Advance(simclock.Cycles(n))
+	// Fetch cost: one L1I access per line of 8 instructions.
+	lines := (n + instrPerLine - 1) / instrPerLine
+	acc := simclock.Cycles(0)
+	deadline, hasDL := clk.NextDeadline()
+	var pagePA physmem.Addr
+	var pageVPN uint32
+	pageValid := false
+	l1i := c.Caches.L1I
+	for i := 0; i < lines; i++ {
+		va := e.CodeBase + e.cursor
+		var pa physmem.Addr
+		if pageValid && va>>12 == pageVPN {
+			if e.iClean >= e.CodeSize && e.CodeSize%(instrPerLine*4) == 0 &&
+				l1i.Epoch() == e.iEpoch && l1i.ReplacementPolicy() == cache.PolicyRandom {
+				// The whole code range is proven resident (a full cyclic
+				// sweep of zero-miss fetches at an unmoved residency
+				// epoch), so every probe up to the next page or wrap
+				// boundary is a guaranteed hit whose only scalar side
+				// effect is the hit counter: bulk-charge them. The clock
+				// invariant (now+acc below the next deadline) holds here,
+				// so the scalar path's zero-cost Advances would fire
+				// nothing in this window either.
+				k := lines - i
+				if toWrap := int((e.CodeSize - e.cursor) / (instrPerLine * 4)); toWrap < k {
+					k = toWrap
+				}
+				if toPage := int((0x1000 - va&0xFFF + instrPerLine*4 - 1) / (instrPerLine * 4)); toPage < k {
+					k = toPage
+				}
+				if k > 0 {
+					l1i.BulkHits(k)
+					e.cursor += uint32(k) * instrPerLine * 4
+					if e.cursor >= e.CodeSize {
+						e.cursor %= e.CodeSize
+					}
+					i += k - 1
+					continue
+				}
+			}
+			pa = pagePA + physmem.Addr(va&0xFFF)
+		} else {
+			// Page crossing (or coverage lost at a clock sync): drain the
+			// accumulator so the scalar translate — micro-TLB scan, walk,
+			// abort delivery — runs at the true clock instant.
+			if acc > 0 {
+				clk.Advance(acc)
+				acc = 0
+			}
+			var ok bool
+			pa, ok = e.translate(va, false, true)
+			if !ok {
+				return // unrecovered fetch abort: as in the scalar loop, no IRQ sample
+			}
+			deadline, hasDL = clk.NextDeadline() // translate may advance/schedule
+			pageVPN = va >> 12
+			pagePA, pageValid = e.pageCover(va, false, true)
+		}
+		cost := simclock.Cycles(c.Caches.FetchCost(pa))
+		// Residency-streak accounting for the bulk fast path above.
+		if ep := l1i.Epoch(); cost == 0 && ep == e.iEpoch {
+			if e.iClean < e.CodeSize {
+				e.iClean += instrPerLine * 4
+			}
+		} else {
+			e.iEpoch, e.iClean = ep, 0
+		}
+		acc += cost
+		if hasDL && clk.Now()+acc >= deadline {
+			// An event lands inside the accumulated window: fire it at its
+			// exact instant and drop every cached assumption — its handler
+			// may have flushed TLBs or touched the caches.
+			clk.Advance(acc)
+			acc = 0
+			deadline, hasDL = clk.NextDeadline()
+			pageValid = false
+		}
+		e.advanceCursor()
+	}
+	if acc > 0 {
+		clk.Advance(acc)
+	}
+	c.PollIRQ()
+}
+
+// execScalar is the reference per-line implementation of Exec. The batched
+// path must stay bit-identical to it; equivalence tests and the speedup
+// benchmarks run it via CPU.ScalarMemPath.
+func (e *ExecContext) execScalar(n int) {
 	c := e.CPU
 	c.stats.Instructions += uint64(n)
 	c.Clock.Advance(simclock.Cycles(n))
-	// Fetch cost: one L1I access per line of 8 instructions.
 	lines := (n + instrPerLine - 1) / instrPerLine
 	for i := 0; i < lines; i++ {
 		va := e.CodeBase + e.cursor
@@ -164,10 +312,7 @@ func (e *ExecContext) Exec(n int) {
 			return
 		}
 		c.Clock.Advance(simclock.Cycles(c.Caches.FetchCost(pa)))
-		e.cursor += instrPerLine * 4
-		if e.cursor >= e.CodeSize {
-			e.cursor = 0
-		}
+		e.advanceCursor()
 	}
 	c.PollIRQ()
 }
@@ -187,10 +332,106 @@ func (e *ExecContext) Touch(va uint32, write bool) {
 
 // TouchRange streams a [va, va+size) range at the given stride, charging
 // one access per step. Used to model a workload pass over a buffer.
+// It runs on the batched StreamRange engine.
 func (e *ExecContext) TouchRange(va, size, stride uint32, write bool) {
+	e.StreamRange(va, size, stride, write)
+}
+
+// StreamRange is the batched memory-path engine behind TouchRange: a
+// streaming pass that is bit-identical in simulated results (cycle totals,
+// cache/TLB state and stats, event firing order) to the scalar Touch loop
+// (touchRangeScalar, kept as the reference path), but does the work in
+// page/line batches:
+//
+//   - the page is translated once per 4 KB crossed; while the micro-TLB
+//     coverage established there holds, follow-on accesses compute PA by
+//     offset, exactly as the scalar path's zero-cost micro hits would;
+//   - same-line accesses collapse into one cache probe plus a HitRun
+//     (guaranteed hits — the probe just made the line resident);
+//   - cycle cost accumulates locally and is handed to the clock in chunks
+//     bounded by the next pending event deadline, so handlers still fire at
+//     their exact instants; every synchronization drops the cached page
+//     coverage, because a handler may flush TLBs, rewrite the DACR or
+//     invalidate cache lines.
+func (e *ExecContext) StreamRange(va, size, stride uint32, write bool) {
+	if e.Stalled || size == 0 {
+		return
+	}
 	if stride == 0 {
 		stride = 4
 	}
+	if e.CPU.ScalarMemPath {
+		e.touchRangeScalar(va, size, stride, write)
+		return
+	}
+	c := e.CPU
+	clk := c.Clock
+	acc := simclock.Cycles(0)
+	deadline, hasDL := clk.NextDeadline()
+	var pagePA physmem.Addr
+	var pageVPN uint32
+	pageValid := false
+
+	for off := uint32(0); off < size; off += stride {
+		a := va + off
+		var pa physmem.Addr
+		if pageValid && a>>12 == pageVPN {
+			pa = pagePA + physmem.Addr(a&0xFFF)
+		} else {
+			// New page (or coverage lost at a clock sync): drain the local
+			// accumulator so the scalar translate runs at the true instant.
+			if acc > 0 {
+				clk.Advance(acc)
+				acc = 0
+			}
+			var ok bool
+			pa, ok = e.translate(a, write, false)
+			if !ok {
+				return // stalled, exactly where the scalar loop stops
+			}
+			deadline, hasDL = clk.NextDeadline() // translate may advance/schedule
+			pageVPN = a >> 12
+			pagePA, pageValid = e.pageCover(a, write, false)
+		}
+		acc += simclock.Cycles(c.Caches.DataCost(pa, write))
+		if hasDL && clk.Now()+acc >= deadline {
+			// An event lands inside the accumulated window: fire it at its
+			// exact instant (as the scalar path's per-access Advance would)
+			// and re-validate everything the handler may have changed.
+			clk.Advance(acc)
+			acc = 0
+			deadline, hasDL = clk.NextDeadline()
+			pageValid = false
+			if e.Stalled {
+				return
+			}
+			continue
+		}
+		// Collapse the follow-on accesses that stay inside this 32-byte
+		// line: the probe above left the line resident, so the scalar path
+		// would charge zero cycles and count plain hits for each.
+		if stride < cache.LineSize {
+			lineEnd := (a | (cache.LineSize - 1)) + 1
+			if lineEnd != 0 { // guard the top-of-address-space wrap
+				n := (lineEnd - 1 - a) / stride
+				if rem := (size - 1 - off) / stride; rem < n {
+					n = rem
+				}
+				if n > 0 {
+					c.Caches.L1D.HitRun(pa, write, int(n))
+					off += n * stride
+				}
+			}
+		}
+	}
+	if acc > 0 {
+		clk.Advance(acc)
+	}
+}
+
+// touchRangeScalar is the reference per-access implementation of
+// TouchRange/StreamRange; the batched engine must stay bit-identical to it.
+func (e *ExecContext) touchRangeScalar(va, size, stride uint32, write bool) {
 	for off := uint32(0); off < size; off += stride {
 		e.Touch(va+off, write)
 		if e.Stalled {
@@ -246,5 +487,7 @@ func (e *ExecContext) VFPOp(n int) bool {
 	return true
 }
 
-// ResetCursor restarts the fetch cursor (e.g. when a task restarts).
-func (e *ExecContext) ResetCursor() { e.cursor = 0 }
+// ResetCursor restarts the fetch cursor (e.g. when a task restarts). The
+// residency streak restarts with it: its coverage claim is tied to an
+// unbroken cyclic walk.
+func (e *ExecContext) ResetCursor() { e.cursor = 0; e.iClean = 0 }

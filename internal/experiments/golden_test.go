@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/simclock"
+)
+
+// probeKey is one probe's full aggregate identity (count, total, min, max)
+// so two runs can be compared sample-for-sample.
+type probeKey struct {
+	Count           uint64
+	Total, Min, Max simclock.Cycles
+}
+
+func probeDigest(t *testing.T, s *measure.Set) map[string]probeKey {
+	t.Helper()
+	out := map[string]probeKey{}
+	for _, ph := range []string{
+		measure.PhaseMgrEntry, measure.PhaseMgrExit, measure.PhaseMgrExec,
+		measure.PhasePLIRQEntry, measure.PhaseVMSwitch,
+	} {
+		p := s.Get(ph)
+		out[ph] = probeKey{Count: p.Count, Total: p.Total, Min: p.Min, Max: p.Max}
+	}
+	return out
+}
+
+// Two full RunTable3Row runs from identical configurations must be
+// bit-identical: same probe counts, same cycle totals, same extremes.
+// This is the golden determinism guarantee the batched memory path must
+// not break — the simulation derives everything from the cycle clock,
+// never from host state.
+func TestGoldenTable3RowDeterminism(t *testing.T) {
+	cfg := testConfig(2, 6)
+	cfg.Warmup = 2
+
+	run := func() (Row, map[string]probeKey, simclock.Cycles) {
+		c := cfg
+		c.Guests = 2
+		c.Iterations = cfg.Iterations
+		if c.Iterations < 8 {
+			c.Iterations = 8
+		}
+		sys := BuildVirtSystem(c)
+		defer sys.Kernel.Shutdown()
+		probes := sys.RunToCompletion(safetyHorizon(c))
+		row := rowFrom("2 OS", probes)
+		return row, probeDigest(t, probes), sys.Kernel.Clock.Now()
+	}
+
+	row1, probes1, end1 := run()
+	row2, probes2, end2 := run()
+
+	if end1 != end2 {
+		t.Fatalf("final clock diverged across identical runs: %d vs %d", end1, end2)
+	}
+	if row1 != row2 {
+		t.Fatalf("Table III row diverged across identical runs:\n  %+v\n  %+v", row1, row2)
+	}
+	for ph, p1 := range probes1 {
+		if p2 := probes2[ph]; p1 != p2 {
+			t.Errorf("probe %v diverged:\n  %+v\n  %+v", ph, p1, p2)
+		}
+	}
+}

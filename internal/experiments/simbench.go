@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Simulator wall-clock benchmarks: how many simulated milliseconds the
+// model covers per host second. Unlike every other number this package
+// produces, these depend on the host machine — they measure the simulator,
+// not the simulated system — and exist to track the perf trajectory of the
+// memory-path engine from PR to PR via BENCH_sim.json.
+
+// SimBenchResult is one measured configuration.
+type SimBenchResult struct {
+	Name string `json:"name"`
+	// ScalarPath is true when the run forced the reference per-access
+	// memory path instead of the batched engine.
+	ScalarPath bool `json:"scalar_path"`
+	// SimMs is the simulated time covered, in milliseconds.
+	SimMs float64 `json:"sim_ms"`
+	// HostMs is the wall-clock time that took.
+	HostMs float64 `json:"host_ms"`
+	// SimMsPerHostS is the headline throughput: simulated ms per host second.
+	SimMsPerHostS float64 `json:"sim_ms_per_host_s"`
+	// Instructions is the number of abstract instructions issued.
+	Instructions uint64 `json:"sim_instructions"`
+	// MIPS is simulated instructions per host second, in millions.
+	MIPS float64 `json:"sim_mips"`
+}
+
+// SimBenchReport is the BENCH_sim.json payload.
+type SimBenchReport struct {
+	Schema    int              `json:"schema"`
+	GoVersion string           `json:"go_version"`
+	NumCPU    int              `json:"num_cpu"`
+	Short     bool             `json:"short"`
+	Results   []SimBenchResult `json:"results"`
+	// Speedups maps a configuration name to batched-over-scalar
+	// sim-throughput (the acceptance metric for the batched engine).
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// MeasureSimThroughput boots the virtualized stack for cfg, forces the
+// scalar or batched memory path on every core, runs simMs of simulated
+// time and reports the wall-clock cost. The measurement is best-of-reps
+// over fresh systems (plus one untimed warm-up rep) because wall-clock
+// numbers on shared CI hosts are noisy; the best rep is the one least
+// perturbed by the host.
+func MeasureSimThroughput(name string, cfg Config, simMs float64, scalar bool, reps int) SimBenchResult {
+	if reps < 1 {
+		reps = 1
+	}
+	best := SimBenchResult{Name: name, ScalarPath: scalar}
+	for rep := 0; rep <= reps; rep++ {
+		sys := BuildVirtSystem(cfg)
+		for _, core := range sys.Kernel.Cores {
+			core.CPU.ScalarMemPath = scalar
+		}
+		t0 := sys.Kernel.Clock.Now()
+		start := time.Now()
+		sys.Kernel.RunFor(simclock.FromMillis(simMs))
+		hostMs := float64(time.Since(start).Nanoseconds()) / 1e6
+		simDelta := (sys.Kernel.Clock.Now() - t0).Millis()
+		var instr uint64
+		for _, core := range sys.Kernel.Cores {
+			instr += core.CPU.Stats().Instructions
+		}
+		sys.Kernel.Shutdown()
+		if rep == 0 {
+			continue // warm-up: JIT-free, but pays page faults and GC growth
+		}
+		if hostMs <= 0 {
+			continue
+		}
+		if tp := simDelta / hostMs * 1000; tp > best.SimMsPerHostS {
+			best.SimMs = simDelta
+			best.HostMs = hostMs
+			best.Instructions = instr
+			best.SimMsPerHostS = tp
+			best.MIPS = float64(instr) / (hostMs / 1000) / 1e6
+		}
+	}
+	return best
+}
+
+// RunSimBench measures the batched and scalar memory paths on the Table III
+// 4-VM configuration and on the reconfiguration-sweep workload shape
+// (4 guests, dual core, tight request gap) and returns the report.
+func RunSimBench(short bool) SimBenchReport {
+	simMs, reps := 250.0, 3
+	if short {
+		simMs, reps = 40.0, 2
+	}
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"table3_4vm", DefaultConfig()},
+		{"reconfig_4vm_2core", DefaultReconfigConfig()},
+	}
+	rep := SimBenchReport{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Short:     short,
+		Speedups:  map[string]float64{},
+	}
+	for _, c := range configs {
+		batched := MeasureSimThroughput(c.name, c.cfg, simMs, false, reps)
+		scalar := MeasureSimThroughput(c.name, c.cfg, simMs, true, reps)
+		rep.Results = append(rep.Results, batched, scalar)
+		if scalar.SimMsPerHostS > 0 {
+			rep.Speedups[c.name] = batched.SimMsPerHostS / scalar.SimMsPerHostS
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the report to path (the BENCH_sim.json artifact).
+func (r SimBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// String renders a console summary.
+func (r SimBenchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simulator wall-clock benchmarks (%s, %d CPUs, short=%v)\n", r.GoVersion, r.NumCPU, r.Short)
+	fmt.Fprintf(&b, "%-22s %-8s %10s %10s %14s %8s\n", "config", "path", "sim_ms", "host_ms", "sim_ms/host_s", "MIPS")
+	for _, res := range r.Results {
+		path := "batched"
+		if res.ScalarPath {
+			path = "scalar"
+		}
+		fmt.Fprintf(&b, "%-22s %-8s %10.1f %10.1f %14.1f %8.1f\n",
+			res.Name, path, res.SimMs, res.HostMs, res.SimMsPerHostS, res.MIPS)
+	}
+	for name, s := range r.Speedups {
+		fmt.Fprintf(&b, "speedup %-22s %.2fx (batched vs scalar)\n", name, s)
+	}
+	return b.String()
+}

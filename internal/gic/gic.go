@@ -71,6 +71,11 @@ type GIC struct {
 	priorityMask []uint8
 	ctrlEnabled  bool
 
+	// npending counts latched pending sources across all banks, so the
+	// nIRQ sample the CPU takes at every instruction boundary
+	// (PendingDeliverable) is O(1) in the common nothing-pending case.
+	npending int
+
 	// Signal is invoked on the rising edge of "an enabled interrupt is
 	// pending and not masked" for a CPU — the nIRQ wire to that core.
 	Signal func(cpu int)
@@ -240,7 +245,7 @@ func (g *GIC) Raise(id int) {
 		return
 	}
 	g.stats.Raised++
-	g.shared[id].pending = true
+	g.setPending(&g.shared[id], true)
 	g.maybeSignal(g.target[id])
 }
 
@@ -255,7 +260,7 @@ func (g *GIC) RaiseOn(cpu, id int) {
 		return
 	}
 	g.stats.Raised++
-	g.banked[cpu][id].pending = true
+	g.setPending(&g.banked[cpu][id], true)
 	g.maybeSignal(cpu)
 }
 
@@ -268,7 +273,7 @@ func (g *GIC) RaiseSGI(target, id int) {
 	}
 	g.checkCPU(target)
 	g.stats.SGIsSent++
-	g.banked[target][id].pending = true
+	g.setPending(&g.banked[target][id], true)
 	g.maybeSignal(target)
 }
 
@@ -279,11 +284,24 @@ func (g *GIC) ClearPending(id int) {
 	g.check(id)
 	if id < PrivateBase {
 		for c := 0; c < g.ncpu; c++ {
-			g.banked[c][id].pending = false
+			g.setPending(&g.banked[c][id], false)
 		}
 		return
 	}
-	g.shared[id].pending = false
+	g.setPending(&g.shared[id], false)
+}
+
+// setPending flips one source's pending latch, keeping the global count
+// coherent. Every mutation of irqState.pending must go through it.
+func (g *GIC) setPending(s *irqState, v bool) {
+	if s.pending != v {
+		if v {
+			g.npending++
+		} else {
+			g.npending--
+		}
+		s.pending = v
+	}
 }
 
 // deliverable reports whether s may be taken on cpu right now.
@@ -316,8 +334,13 @@ func (g *GIC) highestPending(cpu int) int {
 }
 
 // PendingDeliverable reports whether cpu's nIRQ line would be asserted.
+// The no-latch fast path makes the per-instruction-boundary nIRQ sample a
+// pair of compares.
 func (g *GIC) PendingDeliverable(cpu int) bool {
 	g.checkCPU(cpu)
+	if g.npending == 0 {
+		return false
+	}
 	return g.ctrlEnabled && g.highestPending(cpu) >= 0
 }
 
@@ -339,7 +362,7 @@ func (g *GIC) Acknowledge(cpu int) int {
 		return SpuriousID
 	}
 	s := g.state(cpu, id)
-	s.pending = false
+	g.setPending(s, false)
 	s.active = true
 	g.stats.Acknowledged++
 	return id

@@ -179,20 +179,14 @@ func (m *Manager) exec(ctx *cpu.ExecContext, n int) {
 	ctx.Exec(int(float64(n) * m.WorkFactor))
 }
 
-// touchTask streams the task-table entry for id.
+// touchTask streams the task-table entry for id (batched engine).
 func (m *Manager) touchTask(ctx *cpu.ExecContext, id uint16) {
-	base := m.dataVA + 0x1000 + uint32(id)*64
-	for i := uint32(0); i < 64; i += 8 {
-		ctx.Touch(base+i, false)
-	}
+	ctx.StreamRange(m.dataVA+0x1000+uint32(id)*64, 64, 8, false)
 }
 
 // touchPRR streams one PRR-table entry (write when mutating).
 func (m *Manager) touchPRR(ctx *cpu.ExecContext, prr int, write bool) {
-	base := m.dataVA + 0x2000 + uint32(prr)*32
-	for i := uint32(0); i < 32; i += 8 {
-		ctx.Touch(base+i, write)
-	}
+	ctx.StreamRange(m.dataVA+0x2000+uint32(prr)*32, 32, 8, write)
 }
 
 // Handle runs the Fig. 7 routine for one request and returns the reply

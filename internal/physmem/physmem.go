@@ -77,17 +77,30 @@ func (e *BusError) Error() string {
 	return fmt.Sprintf("physmem: bus error on %s at %#08x", op, uint32(e.Addr))
 }
 
+// frameBuf is one 4 KB sparse backing frame.
+type frameBuf [FrameSize]byte
+
 // Bus is the physical interconnect: sparse DDR/OCM RAM plus MMIO windows.
 // It is the single source of truth for physical state; the caches sit in
 // front of it, the FPGA's AXI HP masters behind it.
+//
+// The sparse frames are kept in flat per-region pointer tables indexed by
+// frame number (1 MB of pointers for the 512 MB DDR part) rather than a
+// map: the table walk issues a RAM read on every TLB miss, which made the
+// map lookup one of the hottest operations in the whole simulator.
 type Bus struct {
-	frames  map[Addr][]byte // frame-aligned base -> FrameSize bytes
-	windows []window        // sorted by base
+	ddr     []*frameBuf // DDRSize/FrameSize entries, frame number indexed
+	ocm     []*frameBuf
+	touched int      // allocated frames, for the footprint report
+	windows []window // sorted by base
 }
 
 // NewBus returns an empty bus with DDR and OCM RAM available.
 func NewBus() *Bus {
-	return &Bus{frames: make(map[Addr][]byte)}
+	return &Bus{
+		ddr: make([]*frameBuf, DDRSize/FrameSize),
+		ocm: make([]*frameBuf, OCMSize/FrameSize),
+	}
 }
 
 // MapDevice registers an MMIO window. Windows must not overlap each other.
@@ -127,14 +140,18 @@ func isRAM(a Addr) bool {
 func (b *Bus) IsRAM(a Addr) bool { return isRAM(a) }
 
 // frame returns the backing frame for a RAM address, allocating on demand.
-func (b *Bus) frame(a Addr) []byte {
-	base := a &^ (FrameSize - 1)
-	f := b.frames[base]
-	if f == nil {
-		f = make([]byte, FrameSize)
-		b.frames[base] = f
+func (b *Bus) frame(a Addr) *frameBuf {
+	var slot *(*frameBuf)
+	if a >= DDRBase && uint64(a) < uint64(DDRBase)+uint64(DDRSize) {
+		slot = &b.ddr[(a-DDRBase)>>FrameShift]
+	} else {
+		slot = &b.ocm[(a-OCMBase)>>FrameShift]
 	}
-	return f
+	if *slot == nil {
+		*slot = new(frameBuf)
+		b.touched++
+	}
+	return *slot
 }
 
 // Read32 reads a 32-bit little-endian word. RAM reads are naturally-aligned
@@ -229,4 +246,4 @@ func (b *Bus) WriteBytes(a Addr, p []byte) error {
 
 // TouchedFrames reports how many distinct 4 KB frames have been allocated;
 // the footprint report uses it as the resident-memory figure.
-func (b *Bus) TouchedFrames() int { return len(b.frames) }
+func (b *Bus) TouchedFrames() int { return b.touched }

@@ -89,6 +89,9 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// noDeadline is the cached-deadline sentinel for an empty event queue.
+const noDeadline = ^Cycles(0)
+
 // Clock is the global simulated time source plus a deadline queue.
 // It is not safe for concurrent use; the platform model is single-threaded
 // by design (one simulated core, as in the paper's evaluation, which pins
@@ -97,11 +100,24 @@ type Clock struct {
 	now    Cycles
 	events eventHeap
 	seq    uint64
+	// next caches events[0].When (noDeadline when empty) so the common
+	// no-event Advance is a single compare+add; the heap is consulted only
+	// when the cached deadline is crossed. Every heap mutation refreshes it.
+	next Cycles
 }
 
 // New returns a clock at cycle zero with an empty event queue.
 func New() *Clock {
-	return &Clock{}
+	return &Clock{next: noDeadline}
+}
+
+// syncNext refreshes the cached earliest deadline after a heap mutation.
+func (c *Clock) syncNext() {
+	if len(c.events) == 0 {
+		c.next = noDeadline
+	} else {
+		c.next = c.events[0].When
+	}
 }
 
 // Now returns the current simulated instant.
@@ -117,8 +133,18 @@ func (c *Clock) Now() Cycles { return c.now }
 // clock stays at the later instant.
 func (c *Clock) Advance(d Cycles) {
 	target := c.now + d
+	if target < c.next {
+		// Fast path: no pending event inside the window — a compare+add.
+		c.now = target
+		return
+	}
+	c.advanceSlow(target)
+}
+
+func (c *Clock) advanceSlow(target Cycles) {
 	for len(c.events) > 0 && c.events[0].When <= target {
 		e := heap.Pop(&c.events).(*Event)
+		c.syncNext()
 		if e.When > c.now {
 			c.now = e.When
 		}
@@ -152,6 +178,7 @@ func (c *Clock) At(when Cycles, fire func(now Cycles)) *Event {
 	e := &Event{When: when, Fire: fire, seq: c.seq}
 	c.seq++
 	heap.Push(&c.events, e)
+	c.syncNext()
 	return e
 }
 
@@ -163,15 +190,16 @@ func (c *Clock) Cancel(e *Event) {
 	}
 	heap.Remove(&c.events, e.index)
 	e.index = -2
+	c.syncNext()
 }
 
 // NextDeadline returns the earliest pending event time and true, or 0 and
 // false when the queue is empty.
 func (c *Clock) NextDeadline() (Cycles, bool) {
-	if len(c.events) == 0 {
+	if c.next == noDeadline {
 		return 0, false
 	}
-	return c.events[0].When, true
+	return c.next, true
 }
 
 // Pending returns the number of scheduled events.

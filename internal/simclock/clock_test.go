@@ -153,6 +153,41 @@ func TestNextDeadline(t *testing.T) {
 	}
 }
 
+// The cached next-deadline fast path must stay coherent through every heap
+// mutation: schedule, fire, cancel, and handler-scheduled events.
+func TestCachedDeadlineCoherence(t *testing.T) {
+	c := New()
+	// Fast advances with an empty queue.
+	c.Advance(10)
+	c.Advance(10)
+	var order []int
+	e1 := c.After(100, func(Cycles) { order = append(order, 1) })
+	c.After(50, func(Cycles) {
+		order = append(order, 2)
+		// Handler schedules a nearer event; the cache must pick it up.
+		c.After(5, func(Cycles) { order = append(order, 3) })
+	})
+	c.Advance(30) // 20 -> 50: nothing fires, fast path must stop short of 70
+	if len(order) != 0 {
+		t.Fatalf("events fired early: %v", order)
+	}
+	if d, ok := c.NextDeadline(); !ok || d != 70 {
+		t.Fatalf("NextDeadline = %d,%v want 70,true", d, ok)
+	}
+	c.Advance(26) // crosses 70 and the handler-scheduled 75
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Fatalf("order = %v, want [2 3]", order)
+	}
+	c.Cancel(e1)
+	if _, ok := c.NextDeadline(); ok {
+		t.Error("cancelled last event but a deadline is still cached")
+	}
+	c.Advance(1000)
+	if len(order) != 2 {
+		t.Errorf("cancelled event fired: %v", order)
+	}
+}
+
 // Property: advancing in any chunking reaches the same instant and fires the
 // same number of events.
 func TestPropertyChunkedAdvanceEquivalent(t *testing.T) {

@@ -58,11 +58,18 @@ func (s Stats) MissRate() float64 {
 
 // TLB is a set-associative, ASID-tagged translation cache.
 // The A9 main TLB is 128-entry 2-way; that is the default geometry.
+// Entries live in one contiguous backing array (set-major: set*ways+way),
+// indexed by mask arithmetic; per-size-class population counts let Lookup
+// reject a whole probe (small-page or section key) when no entry of that
+// class exists.
 type TLB struct {
-	sets  [][]entry
-	ways  int
-	stamp uint64
-	stats Stats
+	entries []entry // nsets × ways, flat
+	ways    int
+	setMask uint32
+	stamp   uint64
+	nSmall  int // valid 4 KB small-page entries
+	nLarge  int // valid 1 MB section entries
+	stats   Stats
 }
 
 // NewA9 returns the Cortex-A9 main TLB geometry (128 entries, 2-way).
@@ -75,14 +82,26 @@ func New(entries, ways int) *TLB {
 	if nsets*ways != entries || nsets&(nsets-1) != 0 {
 		panic("tlb: geometry must be power-of-two sets")
 	}
-	t := &TLB{ways: ways, sets: make([][]entry, nsets)}
-	for i := range t.sets {
-		t.sets[i] = make([]entry, ways)
-	}
-	return t
+	return &TLB{ways: ways, entries: make([]entry, entries), setMask: uint32(nsets - 1)}
 }
 
-func (t *TLB) set(vpn uint32) int { return int(vpn) & (len(t.sets) - 1) }
+// set returns the flat slice of ways backing vpn's set.
+func (t *TLB) set(vpn uint32) []entry {
+	base := int(vpn&t.setMask) * t.ways
+	return t.entries[base : base+t.ways]
+}
+
+// drop invalidates *e, keeping the size-class population counts coherent.
+func (t *TLB) drop(e *entry) {
+	if e.valid {
+		if e.tr.Large {
+			t.nLarge--
+		} else {
+			t.nSmall--
+		}
+	}
+	*e = entry{}
+}
 
 // key normalizes the tag VPN: section entries are tagged on their 1 MB
 // frame so any VA inside the section hits the single entry.
@@ -97,21 +116,35 @@ func key(va uint32, large bool) uint32 {
 // any ASID.
 func (t *TLB) Lookup(va uint32, asid uint8) (Translation, bool) {
 	// Probe both the small-page key and the section key: hardware does this
-	// with per-entry size bits in one associative search.
-	for _, large := range [2]bool{false, true} {
-		vpn := key(va, large)
-		set := t.sets[t.set(vpn)]
-		for i := range set {
-			e := &set[i]
-			if e.valid && e.vpn == vpn && e.tr.Large == large && (e.global || e.asid == asid) {
-				t.stamp++
-				e.lru = t.stamp
-				t.stats.Hits++
-				return e.tr, true
-			}
+	// with per-entry size bits in one associative search. A probe whose
+	// size class has no resident entries at all cannot hit and is skipped
+	// outright (stats are untouched by a skipped probe: it could only have
+	// missed, and miss accounting happens once below).
+	if t.nSmall > 0 {
+		if tr, ok := t.probe(key(va, false), false, asid); ok {
+			return tr, true
+		}
+	}
+	if t.nLarge > 0 {
+		if tr, ok := t.probe(key(va, true), true, asid); ok {
+			return tr, true
 		}
 	}
 	t.stats.Misses++
+	return Translation{}, false
+}
+
+func (t *TLB) probe(vpn uint32, large bool, asid uint8) (Translation, bool) {
+	set := t.set(vpn)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn && e.tr.Large == large && (e.global || e.asid == asid) {
+			t.stamp++
+			e.lru = t.stamp
+			t.stats.Hits++
+			return e.tr, true
+		}
+	}
 	return Translation{}, false
 }
 
@@ -119,7 +152,7 @@ func (t *TLB) Lookup(va uint32, asid uint8) (Translation, bool) {
 // mappings shared by all spaces) match every ASID.
 func (t *TLB) Insert(va uint32, asid uint8, global bool, tr Translation) {
 	vpn := key(va, tr.Large)
-	set := t.sets[t.set(vpn)]
+	set := t.set(vpn)
 	t.stamp++
 	victim := 0
 	for i := range set {
@@ -140,27 +173,30 @@ func (t *TLB) Insert(va uint32, asid uint8, global bool, tr Translation) {
 		t.stats.Evictions++
 	}
 fill:
+	t.drop(&set[victim])
+	if tr.Large {
+		t.nLarge++
+	} else {
+		t.nSmall++
+	}
 	set[victim] = entry{vpn: vpn, asid: asid, global: global, valid: true, lru: t.stamp, tr: tr}
 }
 
 // FlushAll invalidates every entry (TLBIALL).
 func (t *TLB) FlushAll() {
-	for s := range t.sets {
-		for w := range t.sets[s] {
-			t.sets[s][w] = entry{}
-		}
+	for i := range t.entries {
+		t.entries[i] = entry{}
 	}
+	t.nSmall, t.nLarge = 0, 0
 	t.stats.FlushAll++
 }
 
 // FlushASID invalidates all non-global entries of one ASID (TLBIASID).
 func (t *TLB) FlushASID(asid uint8) {
-	for s := range t.sets {
-		for w := range t.sets[s] {
-			e := &t.sets[s][w]
-			if e.valid && !e.global && e.asid == asid {
-				*e = entry{}
-			}
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && !e.global && e.asid == asid {
+			t.drop(e)
 		}
 	}
 	t.stats.FlushByASID++
@@ -173,11 +209,11 @@ func (t *TLB) FlushASID(asid uint8) {
 func (t *TLB) FlushVA(va uint32, asid uint8) {
 	for _, large := range [2]bool{false, true} {
 		vpn := key(va, large)
-		set := t.sets[t.set(vpn)]
+		set := t.set(vpn)
 		for w := range set {
 			e := &set[w]
 			if e.valid && e.vpn == vpn && e.tr.Large == large && (e.global || e.asid == asid) {
-				*e = entry{}
+				t.drop(e)
 			}
 		}
 	}
@@ -190,17 +226,7 @@ func (t *TLB) Stats() Stats { return t.stats }
 func (t *TLB) ResetStats() { t.stats = Stats{} }
 
 // Resident counts valid entries.
-func (t *TLB) Resident() int {
-	n := 0
-	for s := range t.sets {
-		for w := range t.sets[s] {
-			if t.sets[s][w].valid {
-				n++
-			}
-		}
-	}
-	return n
-}
+func (t *TLB) Resident() int { return t.nSmall + t.nLarge }
 
 // WalkPenalty is the base cycle cost of taking a TLB miss: the walker
 // issues two descriptor fetches (L1 + L2 table) whose memory cost is

@@ -172,3 +172,67 @@ func TestPropertyInsertThenHit(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: the per-size-class population counts that gate Lookup's probe
+// skipping stay coherent with the backing array across inserts, evictions,
+// in-place refills and every flush flavor — an undercounted class would make
+// Lookup skip a probe that could hit.
+func TestPropertyPopulationCountsCoherent(t *testing.T) {
+	tl := New(32, 2)
+	recount := func() (small, large int) {
+		for i := range tl.entries {
+			if tl.entries[i].valid {
+				if tl.entries[i].tr.Large {
+					large++
+				} else {
+					small++
+				}
+			}
+		}
+		return
+	}
+	f := func(ops []uint32) bool {
+		for _, op := range ops {
+			va := op &^ 0xFFF
+			asid := uint8(op >> 1 & 3)
+			switch op % 7 {
+			case 0, 1, 2:
+				tl.Insert(va, asid, op%5 == 0, Translation{PFN: op >> 12, Large: op%3 == 0})
+			case 3:
+				tl.Lookup(va, asid)
+			case 4:
+				tl.FlushVA(va, asid)
+			case 5:
+				tl.FlushASID(asid)
+			case 6:
+				if op%11 == 0 {
+					tl.FlushAll()
+				}
+			}
+			s, l := recount()
+			if s != tl.nSmall || l != tl.nLarge || tl.Resident() != s+l {
+				t.Logf("counts diverged: have small=%d large=%d, want %d/%d", tl.nSmall, tl.nLarge, s, l)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A section entry must still be found when small-page entries are absent
+// (the small-key probe is skipped) and vice versa.
+func TestProbeSkipStillHits(t *testing.T) {
+	tl := NewA9()
+	tl.Insert(0x2030_0000, 1, false, Translation{PFN: 0x20300, Large: true})
+	if _, ok := tl.Lookup(0x2030_4567, 1); !ok {
+		t.Error("section entry missed with no small entries resident")
+	}
+	tl.FlushAll()
+	tl.Insert(0x5000, 2, false, Translation{PFN: 5})
+	if _, ok := tl.Lookup(0x5FFF, 2); !ok {
+		t.Error("small entry missed with no section entries resident")
+	}
+}
