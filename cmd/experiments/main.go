@@ -12,6 +12,7 @@
 //	go run ./cmd/experiments -dualcore  # dual-core offload comparison
 //	go run ./cmd/experiments -reconfig  # reconfiguration-pipeline sweep
 //	go run ./cmd/experiments -bench     # simulator wall-clock benchmarks -> BENCH_sim.json
+//	go run ./cmd/experiments -scenario  # multi-VM stress-scenario suite (parallel, checksummed)
 //	go run ./cmd/experiments -iters 40 -guests 4
 package main
 
@@ -21,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -33,6 +35,10 @@ func main() {
 		bench      = flag.Bool("bench", false, "run the simulator wall-clock benchmarks (batched vs scalar memory path)")
 		benchOut   = flag.String("bench-out", "BENCH_sim.json", "where -bench writes its JSON report")
 		benchShort = flag.Bool("bench-short", false, "reduced-horizon benchmark run (CI smoke)")
+		scen       = flag.Bool("scenario", false, "run the multi-VM stress-scenario suite in parallel")
+		scenName   = flag.String("scenario-name", "", "run a single named scenario instead of the whole suite")
+		scenShort  = flag.Bool("scenario-short", false, "reduced-horizon scenario run (CI smoke)")
+		scenOut    = flag.String("scenario-out", "", "also write the per-scenario checksum summary to this file")
 		cacheKB    = flag.Uint("cachekb", 0, "override the bitstream cache budget in KB (0 = default 1024)")
 		guests     = flag.Int("guests", 4, "maximum number of guest VMs")
 		iters      = flag.Int("iters", 24, "measured hardware-task requests per guest")
@@ -42,7 +48,36 @@ func main() {
 		seed       = flag.Uint("seed", 1, "task-selection seed")
 	)
 	flag.Parse()
-	all := !*table3 && !*fig9 && !*footprint && !*dualcore && !*reconfig && !*bench
+	if *scenName != "" || *scenOut != "" || *scenShort {
+		*scen = true // the sub-flags imply the scenario run
+	}
+	all := !*table3 && !*fig9 && !*footprint && !*dualcore && !*reconfig && !*bench && !*scen
+
+	if *scen {
+		specs := scenario.Suite(*scenShort)
+		if *scenName != "" {
+			spec, ok := scenario.FindSpec(*scenName, *scenShort)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown scenario %q; known:\n", *scenName)
+				for _, s := range specs {
+					fmt.Fprintf(os.Stderr, "  %-20s %s\n", s.Name, s.About)
+				}
+				os.Exit(1)
+			}
+			specs = []scenario.Spec{spec}
+		}
+		fmt.Printf("running %d stress scenarios in parallel (short=%v)...\n", len(specs), *scenShort)
+		results := scenario.RunSuite(specs)
+		table := scenario.SummaryTable(results)
+		fmt.Println(table)
+		if *scenOut != "" {
+			if err := os.WriteFile(*scenOut, []byte(table), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *scenOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *scenOut)
+		}
+	}
 
 	if *bench {
 		fmt.Printf("running simulator wall-clock benchmarks (short=%v)...\n", *benchShort)

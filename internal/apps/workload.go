@@ -18,6 +18,23 @@ type Workload interface {
 	Output() uint64
 }
 
+// NewWorkloadByName builds a workload from a spec string — the factory
+// declarative harnesses use to wire guest computations from
+// configuration. Known names: "gsm", "adpcm", "memhog". ok is false for
+// anything else (including ""), so callers can treat absence as "no
+// workload".
+func NewWorkloadByName(name string, seed uint32) (Workload, bool) {
+	switch name {
+	case "gsm":
+		return NewGSMWorkload(1, seed), true
+	case "adpcm":
+		return NewADPCMWorkload(1, seed), true
+	case "memhog":
+		return NewMemoryHogWorkload(256 << 10), true
+	}
+	return nil, false
+}
+
 // GSMWorkload encodes synthetic speech frame by frame.
 type GSMWorkload struct {
 	st     GSMState

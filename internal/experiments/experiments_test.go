@@ -147,11 +147,11 @@ func TestFootprint(t *testing.T) {
 }
 
 func TestTaskPickerDeterministicAndCoversSet(t *testing.T) {
-	p1 := newTaskPicker(7, 1)
-	p2 := newTaskPicker(7, 1)
+	p1 := NewMenuPicker(DefaultTaskMenu(1), 7, false)
+	p2 := NewMenuPicker(DefaultTaskMenu(1), 7, false)
 	seen := map[uint16]bool{}
 	for i := 0; i < 200; i++ {
-		a, b := p1.next(), p2.next()
+		a, b := p1.Next(), p2.Next()
 		if a != b {
 			t.Fatal("picker not deterministic")
 		}
@@ -159,5 +159,15 @@ func TestTaskPickerDeterministicAndCoversSet(t *testing.T) {
 	}
 	if len(seen) < 3 {
 		t.Errorf("picker covered only %d distinct tasks", len(seen))
+	}
+}
+
+func TestTaskPickerSequentialCyclesMenu(t *testing.T) {
+	menu := []uint16{5, 9, 2}
+	p := NewMenuPicker(menu, 0, true)
+	for i := 0; i < 9; i++ {
+		if got, want := p.Next(), menu[i%len(menu)]; got != want {
+			t.Fatalf("sequential pick %d = %d, want %d", i, got, want)
+		}
 	}
 }

@@ -210,6 +210,38 @@ func (k *Kernel) AttachFabric(f *pl.Fabric) {
 	k.Reconfig.Probes = k.Probes
 }
 
+// BindPLIRQ routes PL interrupt line (0..gic.NumPLIRQs-1) to pd as a
+// synthetic level-triggered device: the line is registered and enabled in
+// the PD's vGIC, targeted at the PD's home core, and its routing entry is
+// installed — the construction hook scenario harnesses use to attach
+// interrupt sources that do not come from a fabric PRR (IRQ-storm
+// generators, modelled peripherals). Returns the GIC interrupt ID.
+// Lines handed out by Fabric.AllocateIRQ grow from line 0 upward, so
+// synthetic devices should bind from gic.NumPLIRQs-1 downward.
+func (k *Kernel) BindPLIRQ(line int, pd *PD) int {
+	if line < 0 || line >= gic.NumPLIRQs {
+		panic("nova: PL line out of range")
+	}
+	irq := gic.PLIRQBase + line
+	k.plirqOwner[line] = pd
+	k.GIC.SetTarget(irq, pd.Core.ID)
+	k.GIC.SetPriority(irq, 0x60)
+	pd.VGIC.Register(irq)
+	pd.VGIC.Enable(irq)
+	if pd == pd.Core.Current {
+		k.GIC.Enable(irq)
+		k.Clock.Advance(CostDeviceAccess)
+	}
+	return irq
+}
+
+// RaisePL pulses PL interrupt line at the physical GIC — the model of an
+// external device asserting its level-triggered line. The kernel's IRQ
+// path routes it to the owning PD's vGIC on delivery.
+func (k *Kernel) RaisePL(line int) {
+	k.GIC.Raise(gic.PLIRQBase + line)
+}
+
 // PDConfig parameterizes CreatePD.
 type PDConfig struct {
 	Name     string

@@ -1,6 +1,10 @@
 package nova
 
-import "repro/internal/gic"
+import (
+	"sort"
+
+	"repro/internal/gic"
+)
 
 // VGIC is one virtual machine's virtual interrupt controller (paper
 // §III-B, Fig. 2): a record list of the interrupt lines the VM uses, each
@@ -11,6 +15,13 @@ import "repro/internal/gic"
 type VGIC struct {
 	// entries is indexed by physical interrupt ID.
 	entries map[int]*virq
+
+	// order is the record list proper: every registered IRQ ID in
+	// ascending order. All iteration over the record list (EnabledLines,
+	// AllLines, ApplyToGIC) walks this slice, never the map, so the
+	// distributor-op sequence is identical run to run — map iteration
+	// order leaked straight into the GIC programming order before.
+	order []int
 
 	// Entry is the VM's IRQ handler entry point, registered by the guest.
 	// The kernel "injects" a virtual IRQ by scheduling this callback to
@@ -23,11 +34,17 @@ type VGIC struct {
 
 	// Injected counts total injections (for the experiment probes).
 	Injected uint64
+
+	// Relatched counts injections that arrived while the line was still
+	// in service and were latched for redelivery at EOI — the
+	// level-triggered re-raise a storm produces.
+	Relatched uint64
 }
 
 type virq struct {
 	enabled   bool
 	inService bool // injected, not yet EOI'd by the guest
+	rePending bool // re-raised while inService; redelivered on EOI
 }
 
 // NewVGIC returns an empty vGIC.
@@ -37,13 +54,35 @@ func NewVGIC() *VGIC {
 
 // Register adds an interrupt line to the VM's record list (disabled).
 func (v *VGIC) Register(irq int) {
-	if _, ok := v.entries[irq]; !ok {
-		v.entries[irq] = &virq{}
+	if _, ok := v.entries[irq]; ok {
+		return
 	}
+	v.entries[irq] = &virq{}
+	i := sort.SearchInts(v.order, irq)
+	v.order = append(v.order, 0)
+	copy(v.order[i+1:], v.order[i:])
+	v.order[i] = irq
 }
 
-// Unregister removes a line (task released, VM torn down).
-func (v *VGIC) Unregister(irq int) { delete(v.entries, irq) }
+// Unregister removes a line (task released, VM torn down), purging every
+// trace of it: a queued-but-undelivered injection must not dispatch after
+// the VM released the line, and a fresh Register must start from a clean
+// (not in-service) state.
+func (v *VGIC) Unregister(irq int) {
+	if _, ok := v.entries[irq]; !ok {
+		return
+	}
+	delete(v.entries, irq)
+	i := sort.SearchInts(v.order, irq)
+	v.order = append(v.order[:i], v.order[i+1:]...)
+	kept := v.pending[:0]
+	for _, p := range v.pending {
+		if p != irq {
+			kept = append(kept, p)
+		}
+	}
+	v.pending = kept
+}
 
 // Enable marks a registered line enabled; reports whether the line exists.
 func (v *VGIC) Enable(irq int) bool {
@@ -54,11 +93,14 @@ func (v *VGIC) Enable(irq int) bool {
 	return ok
 }
 
-// Disable masks a line in the vGIC.
+// Disable masks a line in the vGIC. A latched re-raise is dropped: the
+// guest explicitly masked the source, so redelivering it on EOI would
+// resurrect an interrupt the guest asked not to see.
 func (v *VGIC) Disable(irq int) bool {
 	e, ok := v.entries[irq]
 	if ok {
 		e.enabled = false
+		e.rePending = false
 	}
 	return ok
 }
@@ -69,32 +111,44 @@ func (v *VGIC) Owns(irq int) bool {
 	return ok
 }
 
-// EnabledLines lists the lines the kernel must unmask when this VM runs.
+// EnabledLines lists, in ascending IRQ order, the lines the kernel must
+// unmask when this VM runs.
 func (v *VGIC) EnabledLines() []int {
 	var out []int
-	for irq, e := range v.entries {
-		if e.enabled {
+	for _, irq := range v.order {
+		if v.entries[irq].enabled {
 			out = append(out, irq)
 		}
 	}
 	return out
 }
 
-// AllLines lists every registered line (masked on switch-out).
+// AllLines lists every registered line in ascending IRQ order (masked on
+// switch-out).
 func (v *VGIC) AllLines() []int {
-	out := make([]int, 0, len(v.entries))
-	for irq := range v.entries {
-		out = append(out, irq)
-	}
+	out := make([]int, len(v.order))
+	copy(out, v.order)
 	return out
 }
 
 // Inject queues a virtual interrupt for delivery. The caller (kernel IRQ
 // path) has already EOI'd the physical GIC; "it is the guest OS'
 // responsibility to manage its own vIRQ state" from here (§III-B).
+//
+// A line that is still in service (injected, not yet EOI'd) latches a
+// re-pending bit instead of dropping the event: the source is
+// level-triggered, so the interrupt is redelivered when the guest EOIs.
+// Returns whether a new injection was queued now.
 func (v *VGIC) Inject(irq int) bool {
 	e, ok := v.entries[irq]
-	if !ok || !e.enabled || e.inService {
+	if !ok || !e.enabled {
+		return false
+	}
+	if e.inService {
+		if !e.rePending {
+			e.rePending = true
+			v.Relatched++
+		}
 		return false
 	}
 	e.inService = true
@@ -103,13 +157,21 @@ func (v *VGIC) Inject(irq int) bool {
 	return true
 }
 
-// EOI completes a previously injected vIRQ, allowing re-injection.
+// EOI completes a previously injected vIRQ. A re-raise latched while the
+// line was in service is re-injected immediately, so level-triggered
+// interrupts are never lost under storms.
 func (v *VGIC) EOI(irq int) bool {
 	e, ok := v.entries[irq]
 	if !ok || !e.inService {
 		return false
 	}
 	e.inService = false
+	if e.rePending && e.enabled {
+		e.rePending = false
+		e.inService = true
+		v.pending = append(v.pending, irq)
+		v.Injected++
+	}
 	return true
 }
 
@@ -126,13 +188,15 @@ func (v *VGIC) HasPending() bool { return len(v.pending) > 0 }
 
 // ApplyToGIC programs the physical distributor for a VM switch: when
 // active, this VM's enabled lines are unmasked; otherwise all its lines
-// are masked. Returns the number of distributor operations performed so
-// the world-switch path can charge their cost (the per-line GIC writes are
-// part of the paper's switch overhead).
+// are masked. The record list is walked in ascending IRQ order, so the
+// distributor-op sequence is deterministic. Returns the number of
+// distributor operations performed so the world-switch path can charge
+// their cost (the per-line GIC writes are part of the paper's switch
+// overhead).
 func (v *VGIC) ApplyToGIC(g *gic.GIC, active bool) int {
 	ops := 0
-	for irq, e := range v.entries {
-		if active && e.enabled {
+	for _, irq := range v.order {
+		if active && v.entries[irq].enabled {
 			g.Enable(irq)
 		} else {
 			g.Disable(irq)

@@ -1,5 +1,7 @@
 package reconfig
 
+import "sort"
+
 // Prefetcher is the history-based predictor behind speculative cache
 // fills. It keeps a per-PRR record of the last bitstream configured there
 // and a first-order transition table (previous image → next image counts)
@@ -9,11 +11,22 @@ package reconfig
 // PCAP write, so mispredictions waste only SD bandwidth, not fabric
 // state.
 type Prefetcher struct {
-	last  map[int]uint32               // PRR -> last demanded image key
-	trans map[uint32]map[uint32]uint64 // image -> successor -> count
-	size  map[uint32]uint32            // learned image lengths
+	last map[int]uint32 // PRR -> last demanded image key
+	// trans maps an image to its successor records, kept sorted by
+	// successor key. The successor pick scans this slice — never a map —
+	// so the prediction (and every speculative fill it triggers) is
+	// identical run to run.
+	trans map[uint32][]succ
+	size  map[uint32]uint32 // learned image lengths
 
 	Stats PrefetchStats
+}
+
+// succ is one learned transition target: image key and how many times the
+// transition was observed.
+type succ struct {
+	key uint32
+	n   uint64
 }
 
 // PrefetchStats counts predictor outcomes. Hits are demand requests that
@@ -30,7 +43,7 @@ type PrefetchStats struct {
 func NewPrefetcher() *Prefetcher {
 	return &Prefetcher{
 		last:  make(map[int]uint32),
-		trans: make(map[uint32]map[uint32]uint64),
+		trans: make(map[uint32][]succ),
 		size:  make(map[uint32]uint32),
 	}
 }
@@ -41,31 +54,36 @@ func NewPrefetcher() *Prefetcher {
 func (p *Prefetcher) Observe(prr int, key, length uint32) {
 	p.size[key] = length
 	if prev, ok := p.last[prr]; ok && prev != key {
-		m := p.trans[prev]
-		if m == nil {
-			m = make(map[uint32]uint64)
-			p.trans[prev] = m
+		s := p.trans[prev]
+		i := sort.Search(len(s), func(i int) bool { return s[i].key >= key })
+		if i < len(s) && s[i].key == key {
+			s[i].n++
+		} else {
+			s = append(s, succ{})
+			copy(s[i+1:], s[i:])
+			s[i] = succ{key: key, n: 1}
+			p.trans[prev] = s
 		}
-		m[key]++
 		p.Stats.Transitions++
 	}
 	p.last[prr] = key
 }
 
 // Predict returns the most likely image to follow key, with its learned
-// length. Ties break toward the smaller key so prediction is
-// deterministic; ok is false when key has no recorded successors.
+// length. The successor list is scanned in ascending key order and only a
+// strictly higher count displaces the running best, so ties break toward
+// the lowest key and the answer never depends on observation order; ok is
+// false when key has no recorded successors.
 func (p *Prefetcher) Predict(key uint32) (next, length uint32, ok bool) {
-	m := p.trans[key]
-	if len(m) == 0 {
+	s := p.trans[key]
+	if len(s) == 0 {
 		return 0, 0, false
 	}
-	var bestKey uint32
-	var bestN uint64
-	for k, n := range m {
-		if n > bestN || (n == bestN && k < bestKey) {
-			bestKey, bestN = k, n
+	best := s[0]
+	for _, c := range s[1:] {
+		if c.n > best.n {
+			best = c
 		}
 	}
-	return bestKey, p.size[bestKey], true
+	return best.key, p.size[best.key], true
 }

@@ -1,0 +1,92 @@
+package reconfig
+
+import "testing"
+
+// The successor pick must break count ties toward the lowest key and must
+// not depend on the order the transitions were observed in.
+func TestPrefetchPredictTieBreak(t *testing.T) {
+	// Three successors of image 100, all observed twice, fed in three
+	// different interleavings. Every permutation must predict the lowest
+	// key (30).
+	perms := [][]uint32{
+		{90, 30, 60, 90, 30, 60},
+		{30, 60, 90, 90, 60, 30},
+		{60, 90, 30, 30, 90, 60},
+		{90, 90, 60, 60, 30, 30},
+	}
+	for _, order := range perms {
+		p := NewPrefetcher()
+		p.Observe(0, 100, 512)
+		for _, next := range order {
+			p.Observe(0, next, next*10)
+			p.Observe(0, 100, 512) // return to the hub image
+		}
+		next, length, ok := p.Predict(100)
+		if !ok {
+			t.Fatalf("order %v: no prediction", order)
+		}
+		if next != 30 {
+			t.Errorf("order %v: predicted %d, want 30 (tie -> lowest key)", order, next)
+		}
+		if length != 300 {
+			t.Errorf("order %v: predicted length %d, want 300", order, length)
+		}
+		if p.Stats.Transitions != uint64(2*len(order)) {
+			t.Errorf("order %v: transitions = %d, want %d", order, p.Stats.Transitions, 2*len(order))
+		}
+	}
+}
+
+// A strictly higher count must win regardless of key ordering.
+func TestPrefetchPredictHighestCountWins(t *testing.T) {
+	p := NewPrefetcher()
+	feed := func(next uint32, times int) {
+		for i := 0; i < times; i++ {
+			p.Observe(1, 200, 64)
+			p.Observe(1, next, 128)
+		}
+	}
+	feed(50, 2)
+	feed(10, 1) // lower key but fewer observations
+	feed(80, 3) // higher key, most observations
+	next, _, ok := p.Predict(200)
+	if !ok || next != 80 {
+		t.Fatalf("Predict(200) = %d (ok=%v), want 80", next, ok)
+	}
+}
+
+// Identical histories must yield identical predictions across many
+// freshly built predictors — the regression guard for the map-iteration
+// successor pick, which let the host's map layout choose among tied
+// successors.
+func TestPrefetchPredictStableAcrossRebuilds(t *testing.T) {
+	history := []struct {
+		prr         int
+		key, length uint32
+	}{
+		{0, 7, 64}, {0, 3, 64}, {0, 7, 64}, {0, 9, 64}, {0, 7, 64}, {0, 5, 64},
+		{1, 7, 64}, {1, 1, 64}, {1, 7, 64}, {1, 11, 64},
+	}
+	var first uint32
+	for trial := 0; trial < 50; trial++ {
+		p := NewPrefetcher()
+		for _, h := range history {
+			p.Observe(h.prr, h.key, h.length)
+		}
+		next, _, ok := p.Predict(7)
+		if !ok {
+			t.Fatal("no prediction for hub image 7")
+		}
+		if trial == 0 {
+			first = next
+			// All of 3, 9, 5, 1, 11 were seen once after 7; lowest wins.
+			if next != 1 {
+				t.Fatalf("Predict(7) = %d, want 1 (tie -> lowest key)", next)
+			}
+			continue
+		}
+		if next != first {
+			t.Fatalf("trial %d: Predict(7) = %d, diverged from first trial's %d", trial, next, first)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"repro/internal/apps"
+	"repro/internal/experiments"
+	"repro/internal/hwtask"
+	"repro/internal/ucos"
+)
+
+// newPicker builds the churn driver's task stream: the VM's explicit
+// menu, or the Table III mix (shared QAM pool + per-VM FFT stage) when
+// none is given — the same picker T_hw uses, so scenario traffic mirrors
+// the Table III traffic by construction.
+func newPicker(vm VM, vmIndex int, seed uint32) *experiments.TaskPicker {
+	menu := vm.HwMenu
+	if len(menu) == 0 {
+		menu = experiments.DefaultTaskMenu(vmIndex)
+	}
+	return experiments.NewMenuPicker(menu, seed, vm.HwSequential)
+}
+
+// churnTask is the scenario counterpart of the experiments' T_hw driver:
+// it acquires a menu task, runs it once through the data section, and
+// sleeps HwGapTicks — forever, until the scenario's runtime budget ends.
+// With ReleaseEvery set it periodically hands the task back to the
+// manager, churning the IRQ register/unregister path on top of the
+// reclaim churn the shared pool already produces.
+func (s *System) churnTask(p *vmProbe, vmIndex int, seed uint32) func(t *ucos.Task) {
+	vm := p.spec
+	return func(t *ucos.Task) {
+		pick := newPicker(vm, vmIndex, seed)
+		if _, ok := t.OS.M.SetupDataSection(64 << 10); !ok {
+			panic("scenario: data section setup failed")
+		}
+		for n := 1; ; n++ {
+			id := pick.Next()
+			h, st := t.AcquireHw(id)
+			if h != nil {
+				length, param := experiments.TaskParams(id)
+				if h.Run(t, 0x1000, 0x9000, length, param, 400) {
+					p.requests++
+				} else {
+					p.failures++
+				}
+				if vm.ReleaseEvery > 0 && n%vm.ReleaseEvery == 0 {
+					t.ReleaseHw(h)
+				}
+			} else if st == hwtask.ReplyBusy {
+				p.busy++
+			}
+			t.Delay(vm.HwGapTicks)
+		}
+	}
+}
+
+// workloadTask runs the VM's background computation: the named codec (or
+// memory hog) over its live buffers plus sparse touches across a wider
+// heap, the cache/TLB pressure pattern of the Table III workload tasks.
+func (s *System) workloadTask(p *vmProbe, vmIndex int, seed uint32) func(t *ucos.Task) {
+	name := p.spec.Workload
+	return func(t *ucos.Task) {
+		w, ok := apps.NewWorkloadByName(name, seed)
+		if !ok {
+			panic("scenario: unknown workload " + name)
+		}
+		bufVA := t.OS.M.TaskCodeBase(30) + 0x10_0000
+		heapVA := t.OS.M.TaskCodeBase(30) + 0x20_0000
+		const heapPages = 72
+		rng := seed ^ uint32(vmIndex)<<8
+		for {
+			w.Step(t.Ctx, bufVA)
+			p.output = w.Output()
+			for i := 0; i < 6; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 17
+				rng ^= rng << 5
+				page := rng % heapPages
+				t.Ctx.Touch(heapVA+page*4096+(page&63)*64, i%3 == 0)
+			}
+			t.Exec(80)
+		}
+	}
+}

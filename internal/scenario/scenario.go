@@ -1,0 +1,378 @@
+// Package scenario is the config-driven multi-VM stress harness: a
+// declarative Spec (core count, VM mix, codec workloads, reconfiguration
+// churn rate, IRQ-storm profile, runtime budget) is turned into a fully
+// wired Mini-NOVA system — kernel, fabric, reconfiguration pipeline,
+// Hardware Task Manager service, and one protection domain per VM — and
+// run for its simulated budget. Every run ends in a state checksum
+// covering the clock, every PD's counters, every guest's outputs, the
+// GIC, the caches and the reconfiguration pipeline, so a scenario is a
+// replay regression: identical specs must produce byte-identical
+// checksums, run after run, however the host schedules the suite's
+// goroutines. This is the repo's systematic way to open new workloads —
+// add a Spec instead of hand-writing an experiment per topology.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/gic"
+	"repro/internal/hwtask"
+	"repro/internal/nova"
+	"repro/internal/pl"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/ucos"
+)
+
+// VM describes one guest in the mix.
+type VM struct {
+	// Name labels the PD ("" = vmN).
+	Name string
+	// Priority is the PD's scheduling priority (0 = nova.PrioGuest).
+	Priority int
+	// Affinity restricts the PD's home core (zero = any core).
+	Affinity sched.CPUMask
+	// Workload names the background computation ("gsm", "adpcm",
+	// "memhog", "" = none) run as a low-priority task.
+	Workload string
+
+	// HwGapTicks > 0 runs a hardware-task churn driver that acquires a
+	// task from the menu, runs it once, and sleeps this many guest ticks
+	// — the reconfiguration churn rate.
+	HwGapTicks uint32
+	// HwMenu is the churn driver's task menu (nil = the shared QAM pool
+	// plus a per-VM FFT stage, the Table III mix).
+	HwMenu []uint16
+	// HwSequential cycles the menu in order instead of pseudo-randomly —
+	// a periodic task sequence the prefetcher can learn.
+	HwSequential bool
+	// ReleaseEvery > 0 releases the acquired task back to the manager
+	// every Nth request (exercising the unregister path); 0 holds tasks
+	// until another VM reclaims them.
+	ReleaseEvery int
+
+	// StormLines attaches that many synthetic level-triggered PL device
+	// lines to this VM, each pulsing every StormPeriodUs microseconds —
+	// the IRQ-storm profile. StormBurst > 1 re-asserts the line that many
+	// times per period, 2 µs apart: the re-raises land while the previous
+	// delivery is still in service, which is exactly the lost-vIRQ window.
+	StormLines    int
+	StormPeriodUs float64
+	StormBurst    int
+}
+
+// Spec is one named scenario.
+type Spec struct {
+	Name  string
+	About string
+
+	// Cores is the number of simulated A9 cores (0 = 1).
+	Cores int
+	// Policy selects the scheduler by name ("" = prio-rr).
+	Policy string
+	// QuantumMs is the guest time slice (0 = the paper's 33 ms).
+	QuantumMs float64
+	// TickMs is the guest OS tick period (0 = 1 ms).
+	TickMs float64
+	// RunMs is the simulated runtime budget.
+	RunMs float64
+	// Seed diversifies the per-VM pseudo-random streams.
+	Seed uint32
+
+	// CacheBytes overrides the bitstream cache budget (0 = default).
+	CacheBytes uint32
+	// PrefetchOff disables speculative fills.
+	PrefetchOff bool
+	// ServiceCore pins the Hardware Task Manager service (zero = any;
+	// meaningful under "partitioned").
+	ServiceCore sched.CPUMask
+
+	VMs []VM
+}
+
+// normalized fills in the spec's defaults.
+func (s Spec) normalized() Spec {
+	if s.Cores < 1 {
+		s.Cores = 1
+	}
+	if s.QuantumMs == 0 {
+		s.QuantumMs = nova.DefaultQuantumMs
+	}
+	if s.TickMs == 0 {
+		s.TickMs = 1
+	}
+	if s.RunMs == 0 {
+		s.RunMs = 100
+	}
+	return s
+}
+
+// vmProbe is the engine's per-VM instrumentation, written only from
+// inside the simulation's single logical thread of execution.
+type vmProbe struct {
+	spec  VM
+	guest *ucos.Guest
+	pd    *nova.PD
+
+	requests     uint64 // completed hardware-task runs
+	failures     uint64 // runs that returned false (timeout, DMA error)
+	busy         uint64 // ReplyBusy answers
+	stormHandled uint64 // storm ISR dispatches
+	output       uint64 // workload digest (0 when no workload)
+}
+
+// System is a fully wired scenario instance.
+type System struct {
+	Spec    Spec
+	Kernel  *nova.Kernel
+	Manager *hwtask.Manager
+
+	probes      []*vmProbe
+	stormPulses uint64
+	stormNext   int // next synthetic PL line, allocated top-down
+}
+
+// Build wires the system a spec describes. The caller owns the kernel
+// and must Shutdown it (Run does both).
+func Build(spec Spec) *System {
+	spec = spec.normalized()
+	k := nova.NewKernelSMP(spec.Cores)
+	quantum := simclock.FromMillis(spec.QuantumMs)
+	pol, err := sched.New(spec.Policy, spec.Cores, quantum)
+	if err != nil {
+		panic(fmt.Sprintf("scenario %q: %v", spec.Name, err))
+	}
+	k.Sched = pol
+
+	caps := hwtask.PaperPRRCapacities()
+	fabric := pl.NewFabric(k.Clock, k.Bus, k.GIC, caps)
+	for id, core := range experiments.PaperCores() {
+		fabric.RegisterCore(id, core)
+	}
+	k.AttachFabric(fabric)
+	if spec.CacheBytes != 0 {
+		k.Reconfig.SetCacheCapacity(spec.CacheBytes)
+	}
+	k.Reconfig.PrefetchOn = !spec.PrefetchOff
+
+	mgr := hwtask.NewManager(len(caps), nova.GuestUserBase+0x10_0000)
+	if err := hwtask.InstallTaskSet(mgr, k.Bus, nova.BitstreamStorePA(), caps, hwtask.PaperTaskSet()); err != nil {
+		panic(fmt.Sprintf("scenario %q: %v", spec.Name, err))
+	}
+	svc := hwtask.NewService(mgr, k)
+	svcPD := k.CreatePD(nova.PDConfig{
+		Name: "hwtm", Priority: nova.PrioService, Caps: nova.CapHwManager,
+		Guest: svc, CodeBase: nova.GuestUserBase, CodeSize: 8 << 10,
+		Affinity: spec.ServiceCore, StartSuspended: true,
+	})
+	k.RegisterHwService(svcPD)
+
+	sys := &System{Spec: spec, Kernel: k, Manager: mgr, stormNext: 0}
+	for i, vm := range spec.VMs {
+		sys.addVM(i, vm)
+	}
+	return sys
+}
+
+// addVM creates the guest PD for one VM spec, wiring its tasks and any
+// storm devices.
+func (s *System) addVM(idx int, vm VM) {
+	if vm.Name == "" {
+		vm.Name = fmt.Sprintf("vm%d", idx)
+	}
+	if vm.Priority == 0 {
+		vm.Priority = nova.PrioGuest
+	}
+	p := &vmProbe{spec: vm}
+	seed := mix(s.Spec.Seed, uint32(idx))
+
+	g := &ucos.Guest{GuestName: vm.Name}
+	p.guest = g
+	pd := s.Kernel.CreatePD(nova.PDConfig{
+		Name: vm.Name, Priority: vm.Priority, Guest: g, Affinity: vm.Affinity,
+	})
+	p.pd = pd
+
+	// Synthetic storm devices: PL lines allocated from the top so they
+	// never collide with the fabric's PRR lines (allocated from 0 up).
+	// The fabric hands a line to at most every PRR, so everything above
+	// that is free for storm use.
+	var stormIRQs []int
+	for l := 0; l < vm.StormLines; l++ {
+		s.stormNext++
+		line := gic.NumPLIRQs - s.stormNext
+		if line < len(s.Kernel.Fabric.PRRs) {
+			panic(fmt.Sprintf("scenario %q: %d storm lines exceed the free PL lines (%d PRRs reserve the bottom of the range)",
+				s.Spec.Name, s.stormNext, len(s.Kernel.Fabric.PRRs)))
+		}
+		irq := s.Kernel.BindPLIRQ(line, pd)
+		stormIRQs = append(stormIRQs, irq)
+		s.startStorm(line, simclock.FromMicros(vm.StormPeriodUs), vm.StormBurst)
+	}
+
+	tick := s.Spec.TickMs
+	g.Setup = func(os *ucos.OS) {
+		os.TickPeriod = simclock.FromMillis(tick)
+		for _, irq := range stormIRQs {
+			irq := irq
+			os.RegisterIRQ(irq, func(int) { p.stormHandled++ })
+		}
+		if vm.HwGapTicks > 0 {
+			os.TaskCreate("churn", 8, s.churnTask(p, idx, seed))
+		}
+		if vm.Workload != "" {
+			os.TaskCreate("workload", 30, s.workloadTask(p, idx, seed))
+		}
+	}
+	s.probes = append(s.probes, p)
+}
+
+// startStorm arms the recurring pulse train for one synthetic device
+// line: every period the line asserts burst times, 2 µs apart, so the
+// trailing assertions arrive while the leading one is still in service.
+func (s *System) startStorm(line int, period simclock.Cycles, burst int) {
+	if period <= 0 {
+		period = simclock.FromMicros(200)
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	gap := simclock.FromMicros(2)
+	// The quiet stretch after a burst must stay a real delay: a period
+	// shorter than the burst itself would schedule events in the past,
+	// which the clock clamps to "fire immediately" — an unintended
+	// flood. Cycles is unsigned, so compare before subtracting.
+	rest := gap
+	if span := simclock.Cycles(burst-1) * gap; period > span+gap {
+		rest = period - span
+	}
+	var pulse func(simclock.Cycles)
+	shot := 0
+	pulse = func(simclock.Cycles) {
+		s.Kernel.RaisePL(line)
+		s.stormPulses++
+		shot++
+		if shot%burst == 0 {
+			s.Kernel.Clock.After(rest, pulse)
+		} else {
+			s.Kernel.Clock.After(gap, pulse)
+		}
+	}
+	s.Kernel.Clock.After(period, pulse)
+}
+
+// Result is one scenario's outcome: the replay checksum plus the headline
+// counters the summary table reports. Everything except WallMs is derived
+// from simulated state and is covered by the checksum.
+type Result struct {
+	Name     string
+	Checksum uint64
+	Cores    int
+	VMs      int
+	SimMs    float64
+	WallMs   float64 // host time; NOT part of the checksum
+
+	Injected     uint64 // vIRQ injections across all PDs
+	Relatched    uint64 // in-service re-raises latched for EOI redelivery
+	Switches     uint64 // world switches
+	Hypercalls   uint64
+	Requests     uint64 // completed hardware-task runs
+	Busy         uint64 // manager busy replies
+	StormPulses  uint64
+	StormHandled uint64
+	Reconfigs    uint64 // pipeline completions
+	PrefetchHits uint64
+
+	// Detail is the exact state dump the checksum is computed over —
+	// diffing two runs' details localizes a replay divergence.
+	Detail string
+}
+
+// Run executes the scenario for its simulated budget, computes the state
+// checksum, and tears the system down.
+func (s *System) Run() Result {
+	t0 := time.Now()
+	k := s.Kernel
+	k.RunFor(simclock.FromMillis(s.Spec.RunMs))
+	res := s.collect()
+	res.WallMs = float64(time.Since(t0).Microseconds()) / 1000
+	k.Shutdown()
+	return res
+}
+
+// collect gathers the result and checksum from the stopped system.
+func (s *System) collect() Result {
+	k := s.Kernel
+	res := Result{
+		Name:        s.Spec.Name,
+		Cores:       len(k.Cores),
+		VMs:         len(s.probes),
+		SimMs:       k.Clock.Now().Millis(),
+		StormPulses: s.stormPulses,
+	}
+	d := newDigest()
+	d.addf("scenario %s seed %d clock %d", s.Spec.Name, s.Spec.Seed, k.Clock.Now())
+
+	for _, pd := range k.PDs {
+		res.Switches += pd.Switches
+		res.Hypercalls += pd.Hypercalls
+		res.Injected += pd.VGIC.Injected
+		res.Relatched += pd.VGIC.Relatched
+		d.addf("pd %d %s switches %d hypercalls %d faults %d injected %d relatched %d",
+			pd.ID, pd.Name(), pd.Switches, pd.Hypercalls, pd.Faults,
+			pd.VGIC.Injected, pd.VGIC.Relatched)
+	}
+	for _, p := range s.probes {
+		res.Requests += p.requests
+		res.Busy += p.busy
+		res.StormHandled += p.stormHandled
+		var ticks uint64
+		if p.guest.OS != nil {
+			ticks = p.guest.OS.Ticks
+		}
+		d.addf("vm %s requests %d failures %d busy %d storm %d ticks %d workload %s output %d",
+			p.spec.Name, p.requests, p.failures, p.busy, p.stormHandled, ticks,
+			p.spec.Workload, p.output)
+	}
+	gs := k.GIC.Stats()
+	d.addf("gic raised %d sgis %d acked %d completed %d spurious %d",
+		gs.Raised, gs.SGIsSent, gs.Acknowledged, gs.Completed, gs.Spurious)
+	for _, c := range k.Cores {
+		l1d, tlb := c.CPU.Caches.L1D.Stats(), c.CPU.TLB.Stats()
+		d.addf("core %d busy %d l1d %d %d %d %d tlb %d %d %d",
+			c.ID, c.BusyCycles, l1d.Hits, l1d.Misses, l1d.Evictions, l1d.Writebacks,
+			tlb.Hits, tlb.Misses, tlb.Evictions)
+	}
+	if pipe := k.Reconfig; pipe != nil {
+		res.Reconfigs = pipe.Stats.Completions
+		res.PrefetchHits = pipe.Prefetch.Stats.Hits
+		cs, qs, fs := pipe.Cache.Stats, pipe.Queue.Stats, pipe.Prefetch.Stats
+		d.addf("reconfig req %d queued %d done %d fail %d cache %d %d %d %d %d queue %d %d %d prefetch %d %d %d %d pcap %d %d",
+			pipe.Stats.Requests, pipe.Stats.Queued, pipe.Stats.Completions, pipe.Stats.Failures,
+			cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions, cs.Bypasses,
+			qs.Enqueued, qs.MaxDepth, qs.DepthSum,
+			fs.Transitions, fs.Issued, fs.Hits, fs.Useless,
+			pipe.Fabric.PCAP.Transfers, pipe.Fabric.PCAP.Errors)
+	}
+	for _, ph := range checksumPhases {
+		pr := k.Probes.Get(ph)
+		d.addf("probe %s %d %d %d %d", ph, pr.Count, pr.Total, pr.Min, pr.Max)
+	}
+	console := k.ConsoleString()
+	d.addf("console %d %d", fnvString(console), len(console))
+
+	res.Detail = d.text()
+	res.Checksum = d.sum()
+	return res
+}
+
+// mix whitens a (seed, lane) pair into a per-VM stream seed.
+func mix(seed, lane uint32) uint32 {
+	x := seed*2654435761 + lane*0x9E3779B9 + 0x85EBCA6B
+	x ^= x >> 16
+	x *= 0x7FEB352D
+	x ^= x >> 15
+	return x | 1
+}

@@ -1,6 +1,24 @@
 package sched
 
-import "repro/internal/simclock"
+import (
+	"fmt"
+
+	"repro/internal/simclock"
+)
+
+// New builds a policy by name — the registry declarative harnesses (the
+// scenario engine, config-driven experiments) use to pick a scheduler
+// from a spec string. Known names: "prio-rr" (default when name is
+// empty) and "partitioned".
+func New(name string, ncpu int, quantum simclock.Cycles) (Policy, error) {
+	switch name {
+	case "", "prio-rr":
+		return NewPrioRR(ncpu, quantum), nil
+	case "partitioned":
+		return NewPartitioned(ncpu, quantum), nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q", name)
+}
 
 // PrioRR is the default policy: the paper's preemptive priority
 // round-robin (§III-D, Fig. 3) generalized to per-CPU runqueues. New
