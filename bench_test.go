@@ -149,6 +149,25 @@ func BenchmarkReconfigSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkIPCPortal measures the portal call/reply IPC round trip on
+// one core: a client PD calls a server PD's portal through a delegated
+// PD capability, the server answers with the merged reply+receive. The
+// sim_cycles/rt metric is the deterministic acceptance number for the
+// same-core synchronous fast path (fastpath_pct should be ~100); ns/op
+// only reflects simulator speed.
+func BenchmarkIPCPortal(b *testing.B) {
+	rounds := 5000
+	if testing.Short() {
+		rounds = 500
+	}
+	for i := 0; i < b.N; i++ {
+		res := experiments.MeasureIPCPortal(rounds)
+		b.ReportMetric(res.SimCyclesPerRT, "sim_cycles/rt")
+		b.ReportMetric(res.SimUsPerRT, "sim_us/rt")
+		b.ReportMetric(res.FastPathShare*100, "fastpath_pct")
+	}
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // switchHeavySystem builds a 2-VM system that world-switches frequently.

@@ -1,0 +1,63 @@
+package abi
+
+import "testing"
+
+func TestSelectorLayout(t *testing.T) {
+	if NumHypercalls != 25 {
+		t.Errorf("NumHypercalls = %d, paper §V-B says 25", NumHypercalls)
+	}
+	if HcSuspend != NumHypercalls-1 {
+		t.Errorf("guest selectors must be dense 0..%d, HcSuspend = %d", NumHypercalls-1, HcSuspend)
+	}
+	if HcMgrNextRequest != NumHypercalls {
+		t.Errorf("manager portals must start at %d, got %d", NumHypercalls, HcMgrNextRequest)
+	}
+	if HcMgrAllocIRQ >= NumPortalSelectors {
+		t.Errorf("manager portal %d outside NumPortalSelectors %d", HcMgrAllocIRQ, NumPortalSelectors)
+	}
+}
+
+func TestStatusCodesDistinct(t *testing.T) {
+	codes := []uint32{
+		StatusOK, StatusReconfig, StatusBusy, StatusNoMsg, StatusInval,
+		StatusDenied, StatusBadSel, StatusRevoked, StatusBadType, StatusErr,
+	}
+	seen := map[uint32]string{}
+	for _, c := range codes {
+		name := StatusName(c)
+		if name == "unknown" {
+			t.Errorf("status %d has no name", c)
+		}
+		if prev, dup := seen[c]; dup {
+			t.Errorf("status code %d used by both %s and %s", c, prev, name)
+		}
+		seen[c] = name
+	}
+	if StatusName(12345) != "unknown" {
+		t.Error("StatusName must report unknown codes")
+	}
+}
+
+func TestReplyPacking(t *testing.T) {
+	cases := []struct {
+		status uint32
+		prr    int
+		irq    int
+	}{
+		{StatusOK, 0, 91},
+		{StatusReconfig, 3, 64},
+		{StatusBusy, -1, 0},
+	}
+	for _, c := range cases {
+		r := MakeReply(c.status, c.prr, c.irq)
+		if got := ReplyStatus(r); got != c.status {
+			t.Errorf("ReplyStatus(%#x) = %d, want %d", r, got, c.status)
+		}
+		if got := ReplyPRR(r); got != c.prr {
+			t.Errorf("ReplyPRR(%#x) = %d, want %d", r, got, c.prr)
+		}
+		if got := ReplyIRQ(r); got != c.irq {
+			t.Errorf("ReplyIRQ(%#x) = %d, want %d", r, got, c.irq)
+		}
+	}
+}

@@ -8,6 +8,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/abi"
+	"repro/internal/measure"
+	"repro/internal/nova"
 	"repro/internal/simclock"
 )
 
@@ -45,6 +48,87 @@ type SimBenchReport struct {
 	// Speedups maps a configuration name to batched-over-scalar
 	// sim-throughput (the acceptance metric for the batched engine).
 	Speedups map[string]float64 `json:"speedups"`
+	// IPC tracks the portal-IPC fast path from PR to PR (simulated
+	// cycles per same-core call/reply round trip).
+	IPC *IPCBenchResult `json:"ipc_portal,omitempty"`
+}
+
+// IPCBenchResult measures the portal call/reply round trip: a client PD
+// calls a server PD on the same core, the server answers with the
+// merged reply+receive. SimCyclesPerRT is deterministic simulated time
+// (the acceptance metric for the IPC fast path); HostNsPerRT is
+// simulator speed and host-dependent.
+type IPCBenchResult struct {
+	Rounds         int     `json:"rounds"`
+	SimCyclesPerRT float64 `json:"sim_cycles_per_rt"`
+	SimUsPerRT     float64 `json:"sim_us_per_rt"`
+	HostNsPerRT    float64 `json:"host_ns_per_rt"`
+	// FastPathShare is the fraction of calls that took the same-core
+	// synchronous handoff (expected ~1.0 in this topology).
+	FastPathShare float64 `json:"fast_path_share"`
+}
+
+// pingGuest adapts a closure to nova.Guest for the IPC benchmark PDs.
+type pingGuest struct {
+	name string
+	run  func(env *nova.Env)
+}
+
+func (g *pingGuest) Name() string           { return g.name }
+func (g *pingGuest) RunSlice(env *nova.Env) { g.run(env) }
+
+// MeasureIPCPortal runs the same-core portal call/reply ping-pong for
+// the given number of rounds and reports the round-trip cost. The
+// simulated numbers are bit-deterministic; only HostNsPerRT varies with
+// the machine.
+func MeasureIPCPortal(rounds int) IPCBenchResult {
+	if rounds < 1 {
+		rounds = 1
+	}
+	k := nova.NewKernel()
+	defer k.Shutdown()
+	server := k.CreatePD(nova.PDConfig{
+		Name: "ipc-server", Priority: nova.PrioGuest,
+		Guest: &pingGuest{"ipc-server", func(env *nova.Env) {
+			word := env.Hypercall(abi.HcPortalRecv, abi.RecvBlock)
+			for {
+				word = env.Hypercall(abi.HcPortalRecv, abi.RecvBlock|abi.RecvReply, (word&0xFF_FFFF)+1)
+			}
+		}},
+	})
+	var sel uint32
+	done := false
+	client := k.CreatePD(nova.PDConfig{
+		Name: "ipc-client", Priority: nova.PrioGuest,
+		Guest: &pingGuest{"ipc-client", func(env *nova.Env) {
+			for i := 0; i < rounds; i++ {
+				env.Hypercall(abi.HcPortalCall, sel, uint32(i)&0xFF_FFFF)
+			}
+			done = true
+			env.Hypercall(abi.HcSuspend)
+		}},
+	})
+	s, err := k.DelegateIPC(server, client)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: DelegateIPC: %v", err))
+	}
+	sel = uint32(s)
+
+	start := time.Now()
+	for !done {
+		k.RunFor(simclock.FromMillis(10))
+	}
+	host := time.Since(start)
+
+	p := k.Probes.Get(measure.PhaseIPCCall)
+	res := IPCBenchResult{Rounds: int(p.Count)}
+	if p.Count > 0 {
+		res.SimCyclesPerRT = p.MeanCycles()
+		res.SimUsPerRT = p.MeanMicros()
+		res.HostNsPerRT = float64(host.Nanoseconds()) / float64(p.Count)
+		res.FastPathShare = float64(k.IPCFastCalls()) / float64(p.Count)
+	}
+	return res
 }
 
 // MeasureSimThroughput boots the virtualized stack for cfg, forces the
@@ -106,7 +190,7 @@ func RunSimBench(short bool) SimBenchReport {
 		{"reconfig_4vm_2core", DefaultReconfigConfig()},
 	}
 	rep := SimBenchReport{
-		Schema:    1,
+		Schema:    2,
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Short:     short,
@@ -120,6 +204,12 @@ func RunSimBench(short bool) SimBenchReport {
 			rep.Speedups[c.name] = batched.SimMsPerHostS / scalar.SimMsPerHostS
 		}
 	}
+	ipcRounds := 20000
+	if short {
+		ipcRounds = 2000
+	}
+	ipc := MeasureIPCPortal(ipcRounds)
+	rep.IPC = &ipc
 	return rep
 }
 
@@ -147,6 +237,10 @@ func (r SimBenchReport) String() string {
 	}
 	for name, s := range r.Speedups {
 		fmt.Fprintf(&b, "speedup %-22s %.2fx (batched vs scalar)\n", name, s)
+	}
+	if r.IPC != nil {
+		fmt.Fprintf(&b, "ipc_portal %d rounds: %.0f sim_cycles/rt (%.2f us), %.0f host_ns/rt, fastpath %.0f%%\n",
+			r.IPC.Rounds, r.IPC.SimCyclesPerRT, r.IPC.SimUsPerRT, r.IPC.HostNsPerRT, r.IPC.FastPathShare*100)
 	}
 	return b.String()
 }

@@ -20,6 +20,7 @@ package hwtask
 import (
 	"fmt"
 
+	"repro/internal/abi"
 	"repro/internal/bitstream"
 	"repro/internal/cpu"
 	"repro/internal/simclock"
@@ -74,12 +75,14 @@ type Request struct {
 	DataVA   uint32
 }
 
-// Reply status codes (aligned with nova's hypercall statuses).
+// Reply status codes — the shared ABI's hypercall statuses, aliased so
+// the decision core keeps its historical spelling without duplicating
+// the values.
 const (
-	ReplyOK       = 0
-	ReplyReconfig = 1
-	ReplyBusy     = 2
-	ReplyInval    = 4
+	ReplyOK       = abi.StatusOK
+	ReplyReconfig = abi.StatusReconfig
+	ReplyBusy     = abi.StatusBusy
+	ReplyInval    = abi.StatusInval
 )
 
 // Actions abstracts the privileged effects of an allocation so the same
@@ -107,23 +110,20 @@ type Actions interface {
 	AllocIRQ(req Request, prr int) (irq int, ok bool)
 }
 
-// Reply packing: the low byte is the status; byte 1 carries the granted
-// PRR index + 1 (0 = none); byte 2 carries the allocated GIC IRQ id. The
-// client needs both to program the task and register its handler.
+// Reply packing lives in the shared ABI (abi.MakeReply and friends);
+// these wrappers keep the package-local names the harnesses use.
 
 // MakeReply packs status, PRR and IRQ into one reply word.
-func MakeReply(status uint32, prr, irq int) uint32 {
-	return status | uint32(prr+1)<<8 | uint32(irq)<<16
-}
+func MakeReply(status uint32, prr, irq int) uint32 { return abi.MakeReply(status, prr, irq) }
 
 // StatusOf extracts the status byte of a reply.
-func StatusOf(reply uint32) uint32 { return reply & 0xFF }
+func StatusOf(reply uint32) uint32 { return abi.ReplyStatus(reply) }
 
 // PRROf extracts the granted PRR (-1 when none).
-func PRROf(reply uint32) int { return int(reply>>8&0xFF) - 1 }
+func PRROf(reply uint32) int { return abi.ReplyPRR(reply) }
 
 // IRQOf extracts the allocated GIC interrupt id (0 when none).
-func IRQOf(reply uint32) int { return int(reply >> 16 & 0xFF) }
+func IRQOf(reply uint32) int { return abi.ReplyIRQ(reply) }
 
 // Stats counts manager outcomes.
 type Stats struct {

@@ -1,6 +1,7 @@
 package hwtask
 
 import (
+	"repro/internal/abi"
 	"repro/internal/gic"
 	"repro/internal/nova"
 	"repro/internal/physmem"
@@ -10,7 +11,11 @@ import (
 // Service adapts Manager to a Mini-NOVA protection domain: the user-level
 // Hardware Task Manager of §IV-E. It runs suspended at service priority
 // and is woken by the kernel whenever a guest issues HcHwTaskRequest;
-// every privileged effect goes through a capability portal.
+// every privileged effect goes through a capability portal. The service
+// is born with no powers: nova.RegisterHwService delegates the kernel's
+// device objects (request queue, PCAP, bitstream store, hw-task slots,
+// client PDs) into its capability table at boot, and each HcMgr* portal
+// rights-checks those capabilities on the way in.
 type Service struct {
 	M *Manager
 	K *nova.Kernel
@@ -28,11 +33,11 @@ func (s *Service) Name() string { return "hwtask-manager" }
 // HcMgrComplete portal suspends the service and hands back the next
 // request when one arrives.
 func (s *Service) RunSlice(env *nova.Env) {
-	reqID := env.Hypercall(nova.HcMgrNextRequest)
+	reqID := env.Hypercall(abi.HcMgrNextRequest)
 	for {
 		view, ok := s.K.MgrRequest(reqID)
 		if !ok {
-			reqID = env.Hypercall(nova.HcMgrComplete, reqID, nova.StatusInval)
+			reqID = env.Hypercall(abi.HcMgrComplete, reqID, abi.StatusInval)
 			continue
 		}
 		kind := ReqAcquire
@@ -62,7 +67,7 @@ func (s *Service) RunSlice(env *nova.Env) {
 			}
 		}
 		status := s.M.Handle(env.Ctx, req, &portalActions{env: env, req: req})
-		reqID = env.Hypercall(nova.HcMgrComplete, reqID, status)
+		reqID = env.Hypercall(abi.HcMgrComplete, reqID, status)
 	}
 }
 
@@ -81,15 +86,15 @@ func (a *portalActions) PRRBusy(prr int) bool {
 }
 
 func (a *portalActions) Reclaim(clientID, prr int) {
-	a.env.Hypercall(nova.HcMgrUnmapIface, uint32(clientID), uint32(prr))
+	a.env.Hypercall(abi.HcMgrUnmapIface, uint32(clientID), uint32(prr))
 }
 
 func (a *portalActions) MapIface(req Request, prr int) bool {
-	return a.env.Hypercall(nova.HcMgrMapIface, req.ReqID, uint32(prr)) == nova.StatusOK
+	return a.env.Hypercall(abi.HcMgrMapIface, req.ReqID, uint32(prr)) == abi.StatusOK
 }
 
 func (a *portalActions) LoadWindow(req Request, prr int) bool {
-	return a.env.Hypercall(nova.HcMgrHwMMULoad, uint32(req.ClientID), uint32(prr)) == nova.StatusOK
+	return a.env.Hypercall(abi.HcMgrHwMMULoad, uint32(req.ClientID), uint32(prr)) == abi.StatusOK
 }
 
 // StartReconfig implements Actions through the HcMgrPCAPStart portal,
@@ -97,12 +102,12 @@ func (a *portalActions) LoadWindow(req Request, prr int) bool {
 // cached bitstreams skip the SD staging read, and a busy PCAP queues the
 // request (by client priority) instead of failing it back here.
 func (a *portalActions) StartReconfig(req Request, t *TaskInfo, prr int) bool {
-	return a.env.Hypercall(nova.HcMgrPCAPStart, req.ReqID, t.BitstreamOff, t.BitstreamLen, uint32(prr)) == nova.StatusOK
+	return a.env.Hypercall(abi.HcMgrPCAPStart, req.ReqID, t.BitstreamOff, t.BitstreamLen, uint32(prr)) == abi.StatusOK
 }
 
 func (a *portalActions) AllocIRQ(req Request, prr int) (int, bool) {
-	ret := a.env.Hypercall(nova.HcMgrAllocIRQ, req.ReqID, uint32(prr))
-	if ret < 32 || ret == nova.StatusErr {
+	ret := a.env.Hypercall(abi.HcMgrAllocIRQ, req.ReqID, uint32(prr))
+	if ret < 32 || ret == abi.StatusErr {
 		return 0, false
 	}
 	return int(ret), true

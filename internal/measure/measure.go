@@ -175,6 +175,7 @@ const (
 	PhasePLIRQEntry = "plirq_entry" // exception vector to vGIC injection
 	PhaseVMSwitch   = "vm_switch"   // full world switch
 	PhaseHypercall  = "hypercall"   // generic hypercall round trip
+	PhaseIPCCall    = "ipc_call"    // portal IPC call-to-reply round trip
 
 	// Reconfiguration-pipeline phases (internal/reconfig): end-to-end
 	// latency of one managed reconfiguration, split by cache outcome,

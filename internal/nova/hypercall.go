@@ -1,6 +1,8 @@
 package nova
 
 import (
+	"repro/internal/abi"
+	"repro/internal/capspace"
 	"repro/internal/cpu"
 	"repro/internal/gic"
 	"repro/internal/measure"
@@ -36,182 +38,65 @@ type HwRequest struct {
 	replied bool
 }
 
-// hcBaseCost is the handler path length in instructions for each
-// hypercall — the kernel code the SWI dispatcher and the handler execute.
-var hcBaseCost = map[int]int{
-	HcNull: 18, HcPrint: 30, HcVMID: 20, HcYield: 28,
-	HcTimerSet: 55, HcTimerCancel: 35, HcIRQEnable: 45, HcIRQDisable: 45,
-	HcIRQEOI: 32, HcCacheFlush: 60, HcTLBFlush: 40, HcMapPage: 90,
-	HcUnmapPage: 80, HcRegionCreate: 85, HcDACRSwitch: 30,
-	HcHwTaskRequest: 95, HcHwTaskRelease: 70, HcHwTaskStatus: 40,
-	HcIPCSend: 70, HcIPCRecv: 60, HcUARTWrite: 35, HcUARTRead: 35,
-	HcSDRead: 120, HcSDWrite: 120, HcSuspend: 40,
-	HcMgrNextRequest: 50, HcMgrMapIface: 110, HcMgrUnmapIface: 70,
-	HcMgrHwMMULoad: 45, HcMgrPCAPStart: 85, HcMgrComplete: 60,
-	HcMgrAllocIRQ: 75,
+// regionWindow is the payload of an ObjMemRegion kernel object: the
+// physical window the capability conveys (bitstream store, data
+// sections).
+type regionWindow struct {
+	Base physmem.Addr
+	Size uint32
 }
 
-// onSWI is the kernel's hypercall dispatcher — the PD exception interface
-// of §III-A, distributing calls to capability portals.
-func (k *Kernel) onSWI(c *CoreCtx, num int, args [4]uint32) uint32 {
+// Dispatch-path instruction costs: the SWI vector plus selector decode,
+// and the capability-table walk (slot load, generation/type/rights
+// checks). The resolved portal then charges its own path length
+// (portalDesc.cost).
+const (
+	costHcDecode  = 18
+	costCapLookup = 12
+)
+
+// CostIPCFastPath is the fixed kernel path length of a same-core
+// synchronous portal handoff: the caller's word moves to the receiver
+// and control transfers without a runqueue walk or world-switch setup —
+// the donated-timeslice fast path of a NOVA-style call. Measured end to
+// end by the measure.PhaseIPCCall probe.
+const CostIPCFastPath = 120
+
+// onSWI is the kernel's hypercall dispatcher — the PD exception
+// interface of §III-A. It is a pure decode step: the call number is a
+// selector resolved through the caller's capability table, and the
+// resulting portal object's handler does the work. There is no
+// privileged side door: manager portals differ from guest calls only in
+// which tables hold capabilities to them.
+func (k *Kernel) onSWI(c *CoreCtx, sel int, args [4]uint32) uint32 {
 	t0 := k.Clock.Now()
 	pd := c.Current
 	if pd == nil {
 		return StatusErr
 	}
 	pd.Hypercalls++
-	c.kctx.Exec(hcBaseCost[num] + 14) // vector + dispatch table + handler
-	c.kctx.Touch(pd.kdata, false)     // PD descriptor lookup
+	c.kctx.Exec(costHcDecode)
+	c.kctx.Touch(pd.kdata, false) // PD descriptor lookup
+	// Capability resolution: one access into the PD's capability table
+	// (kernel-resident, so per-PD cap state competes for cache space)
+	// plus the table-walk instructions.
+	c.kctx.Touch(pd.kdata+capTableOff+uint32(sel&capTableMask)*capSlotBytes, false)
+	c.kctx.Exec(costCapLookup)
 
 	var ret uint32
-	switch {
-	case num < NumHypercalls:
-		ret = k.guestCall(c, pd, num, args)
-	case num <= HcMgrAllocIRQ:
-		if pd.Caps&CapHwManager == 0 {
-			ret = StatusDenied
-		} else {
-			ret = k.managerPortal(pd, num, args)
-		}
-	default:
-		ret = StatusInval
+	obj, cerr := pd.Space.Lookup(sel, capspace.ObjPortal, capspace.RightCall)
+	if cerr != capspace.OK {
+		ret = capStatus(cerr)
+	} else if p, ok := obj.Payload.(*portalDesc); !ok {
+		// A device-authority object (e.g. the PCAP token) is a portal
+		// capability but not a callable service entry.
+		ret = StatusBadType
+	} else {
+		c.kctx.Exec(p.cost)
+		ret = p.fn(k, c, pd, args)
 	}
 	k.Probes.Add(measure.PhaseHypercall, k.Clock.Now()-t0)
 	return ret
-}
-
-func (k *Kernel) guestCall(c *CoreCtx, pd *PD, num int, args [4]uint32) uint32 {
-	switch num {
-	case HcNull:
-		return StatusOK
-
-	case HcPrint:
-		k.Console.WriteByte(byte(args[0]))
-		k.Clock.Advance(CostDeviceAccess)
-		return StatusOK
-
-	case HcVMID:
-		return uint32(pd.ID)
-
-	case HcYield:
-		c.quantumExpired = true
-		c.needResched = true
-		return StatusOK
-
-	case HcTimerSet:
-		return k.hcTimerSet(pd, simclock.Cycles(args[0]))
-
-	case HcTimerCancel:
-		k.parkVirtualTimer(pd)
-		pd.VCPU.TimerPeriod = 0
-		pd.timerRemaining = 0
-		return StatusOK
-
-	case HcIRQEnable:
-		irq := int(args[0])
-		if irq == gic.PrivateTimerIRQ {
-			pd.VGIC.Register(irq) // virtual timer PPI: self-service
-		}
-		if !pd.VGIC.Enable(irq) {
-			return StatusDenied
-		}
-		if physicalLine(irq) && pd == c.Current {
-			k.GIC.Enable(irq)
-			k.Clock.Advance(CostDeviceAccess)
-		}
-		return StatusOK
-
-	case HcIRQDisable:
-		irq := int(args[0])
-		if !pd.VGIC.Disable(irq) {
-			return StatusDenied
-		}
-		if physicalLine(irq) {
-			k.GIC.Disable(irq)
-			k.Clock.Advance(CostDeviceAccess)
-		}
-		return StatusOK
-
-	case HcIRQEOI:
-		if !pd.VGIC.EOI(int(args[0])) {
-			return StatusInval
-		}
-		return StatusOK
-
-	case HcCacheFlush:
-		c.CPU.CP15Write(cpu.CP15DCCISW, 0)
-		return StatusOK
-
-	case HcTLBFlush:
-		c.CPU.CP15Write(cpu.CP15TLBIASID, uint32(pd.ASID))
-		return StatusOK
-
-	case HcMapPage:
-		return k.hcMapPage(pd, args[0], args[1])
-
-	case HcUnmapPage:
-		return k.hcUnmapPage(pd, args[0])
-
-	case HcRegionCreate:
-		return k.hcRegionCreate(pd, args[0], args[1])
-
-	case HcDACRSwitch:
-		guestKernelCtx := args[0] != 0
-		d := dacrFor(guestKernelCtx)
-		pd.VCPU.DACR = d
-		c.CPU.CP15Write(cpu.CP15DACR, d)
-		return StatusOK
-
-	case HcHwTaskRequest:
-		return k.hcHwTaskRequest(pd, HwReqAcquire, args)
-
-	case HcHwTaskRelease:
-		return k.hcHwTaskRequest(pd, HwReqRelease, args)
-
-	case HcHwTaskStatus:
-		return k.hcHwTaskStatus(pd, args[0])
-
-	case HcIPCSend:
-		return k.hcIPCSend(pd, int(args[0]), args[1])
-
-	case HcIPCRecv:
-		return k.hcIPCRecv(pd, args[0] != 0)
-
-	case HcUARTWrite:
-		k.Console.WriteByte(byte(args[0]))
-		k.Clock.Advance(CostDeviceAccess)
-		return StatusOK
-
-	case HcUARTRead:
-		k.Clock.Advance(CostDeviceAccess)
-		return 0 // no input source modelled; returns "no data"
-
-	case HcSDRead:
-		return k.hcSD(pd, args[0], args[1], false)
-
-	case HcSDWrite:
-		if pd.Caps&CapIODirect == 0 {
-			return StatusDenied
-		}
-		return k.hcSD(pd, args[0], args[1], true)
-
-	case HcSuspend:
-		if args[0] == 1 {
-			// Paravirtualized idle: sleep until a virtual interrupt is
-			// injected (the guest's WFI). A pending injection returns
-			// immediately.
-			if pd.VGIC.HasPending() {
-				return StatusOK
-			}
-			pd.idleWaiting = true
-			pd.Env.block()
-			pd.idleWaiting = false
-			return StatusOK
-		}
-		pd.Env.block()
-		return StatusOK
-	}
-	return StatusInval
 }
 
 // hcTimerSet programs the caller's virtual timer. Virtual time advances
@@ -276,7 +161,10 @@ func (k *Kernel) editCtx() *cpu.ExecContext {
 
 // hcRegionCreate registers [va, va+size) as the caller's hardware-task
 // data section (§IV-B: "each guest OS can define its own hardware task
-// data section within its own memory space").
+// data section within its own memory space"). The section becomes a
+// memory-region kernel object in the caller's space (SelDataSect); the
+// manager's DMA-window load resolves it there, and re-registration
+// revokes the previous object so stale delegations die with it.
 func (k *Kernel) hcRegionCreate(pd *PD, va, size uint32) uint32 {
 	if va&0xFFF != 0 || size == 0 || size&0xFFF != 0 || size > pd.RAMSize {
 		return StatusInval
@@ -294,21 +182,30 @@ func (k *Kernel) hcRegionCreate(pd *PD, va, size uint32) uint32 {
 			return StatusInval
 		}
 	}
+	if pd.Space.RightsAt(SelDataSect) != 0 {
+		pd.Space.RevokeObject(SelDataSect)
+	}
+	region := capspace.NewObject(capspace.ObjMemRegion, "datasect/"+pd.Name_,
+		regionWindow{Base: pa, Size: size})
+	pd.Space.Insert(SelDataSect, region, capspace.RightsAll)
 	pd.DataSectionVA, pd.DataSectionPA, pd.DataSectionSize = va, pa, size
 	return StatusOK
 }
 
-// hcHwTaskRequest queues a request for the Hardware Task Manager, wakes
-// the service, and blocks the caller until the manager posts the reply —
-// "the Hardware Task Manager service is created with a higher priority
-// level than general guests, so that this service can preempt guests and
-// execute immediately once it is invoked" (§IV-E).
+// hcHwTaskRequest queues a request for the Hardware Task Manager,
+// signals the request-queue object, and blocks the caller until the
+// manager posts the reply — "the Hardware Task Manager service is
+// created with a higher priority level than general guests, so that this
+// service can preempt guests and execute immediately once it is invoked"
+// (§IV-E).
 func (k *Kernel) hcHwTaskRequest(pd *PD, kind HwRequestKind, args [4]uint32) uint32 {
 	if k.hwSvc == nil || k.Fabric == nil {
 		return StatusErr
 	}
-	if kind == HwReqAcquire && pd.DataSectionSize == 0 {
-		return StatusInval // must register a data section first
+	if kind == HwReqAcquire {
+		if _, err := pd.Space.Lookup(SelDataSect, capspace.ObjMemRegion, capspace.RightCall); err != capspace.OK {
+			return StatusInval // must register a data section first
+		}
 	}
 	k.nextReqID++
 	req := &HwRequest{
@@ -353,36 +250,90 @@ func (k *Kernel) hcHwTaskStatus(pd *PD, _ uint32) uint32 {
 	return StatusOK
 }
 
-func (k *Kernel) hcIPCSend(pd *PD, dst int, word uint32) uint32 {
-	if dst < 0 || dst >= len(k.PDs) || k.PDs[dst] == pd {
+// --- Portal IPC (call/reply through PD-object capabilities) ----------
+
+// hcPortalCall is the synchronous portal call: resolve the destination
+// PD through the caller's capability table, hand the word over, block
+// until the callee replies. When the callee is already blocked in
+// receive on the same core the handoff takes the fixed-cost fast path
+// (CostIPCFastPath) instead of the cross-core wake; either way the
+// PhaseIPCCall probe records the full call-to-reply round trip.
+func (k *Kernel) hcPortalCall(c *CoreCtx, pd *PD, sel int, word uint32) uint32 {
+	obj, cerr := pd.Space.Lookup(sel, capspace.ObjPD, capspace.RightCall)
+	if cerr != capspace.OK {
+		return capStatus(cerr)
+	}
+	to := obj.Payload.(*PD)
+	if to == pd || to.dead {
 		return StatusInval
 	}
-	to := k.PDs[dst]
-	if len(to.mbox) >= 16 {
-		return StatusBusy
-	}
-	to.mbox = append(to.mbox, ipcMsg{sender: pd.ID, word: word})
-	k.editCtx().Touch(to.kdata+0x80, true)
+	t0 := k.Clock.Now()
+	pd.ipcWord = word
+	to.ipcCallers = append(to.ipcCallers, pd)
+	k.editCtx().Touch(to.kdata+0x80, true) // callee endpoint state
 	if to.recvBlocked {
 		to.recvBlocked = false
+		if to.Core == pd.Core {
+			c.kctx.Exec(CostIPCFastPath)
+			k.ipcFastCalls++
+		}
 		k.wake(to)
 	}
-	return StatusOK
+	pd.Env.block() // resumes when the callee replies
+	k.Probes.Add(measure.PhaseIPCCall, k.Clock.Now()-t0)
+	return pd.ipcReply
 }
 
-// hcIPCRecv returns sender<<24 | (word & 0xFFFFFF), or StatusNoMsg/blocks.
-func (k *Kernel) hcIPCRecv(pd *PD, blocking bool) uint32 {
-	for len(pd.mbox) == 0 {
-		if !blocking {
+// hcPortalRecv receives the next queued caller, returning
+// sender<<24 | (word & 0xFFFFFF). mode is a bit set (abi.Recv*):
+// RecvBlock waits for a caller (otherwise StatusNoMsg); RecvReply first
+// replies args[1] to the previously received caller, waking it — the
+// merged reply+wait of a portal server loop. A server must reply to its
+// current caller before receiving the next one; receiving again with an
+// un-replied caller outstanding is refused (StatusInval) rather than
+// silently stranding the blocked caller.
+func (k *Kernel) hcPortalRecv(pd *PD, mode, reply uint32) uint32 {
+	if mode&abi.RecvReply != 0 {
+		caller := pd.replyTo
+		if caller == nil {
+			return StatusInval
+		}
+		pd.replyTo = nil
+		caller.ipcReply = reply
+		k.editCtx().Touch(caller.kdata+0x80, true)
+		k.wake(caller)
+	} else if pd.replyTo != nil {
+		return StatusInval
+	}
+	for len(pd.ipcCallers) == 0 {
+		if mode&abi.RecvBlock == 0 {
 			return StatusNoMsg
 		}
 		pd.recvBlocked = true
 		pd.Env.block()
 	}
-	m := pd.mbox[0]
-	pd.mbox = pd.mbox[1:]
+	caller := pd.ipcCallers[0]
+	pd.ipcCallers = pd.ipcCallers[1:]
+	pd.replyTo = caller
 	k.editCtx().Touch(pd.kdata+0x80, false)
-	return uint32(m.sender)<<24 | m.word&0xFF_FFFF
+	return uint32(caller.ID)<<24 | caller.ipcWord&0xFF_FFFF
+}
+
+// failPortalCallers resumes, with StatusErr, every caller blocked on a
+// retiring PD's portal: callers still queued and the one whose reply
+// will never come. Without this a synchronous caller would hang until
+// Shutdown when its callee's guest returns.
+func (k *Kernel) failPortalCallers(pd *PD) {
+	for _, caller := range pd.ipcCallers {
+		caller.ipcReply = StatusErr
+		k.wake(caller)
+	}
+	pd.ipcCallers = nil
+	if caller := pd.replyTo; caller != nil {
+		pd.replyTo = nil
+		caller.ipcReply = StatusErr
+		k.wake(caller)
+	}
 }
 
 // hcSD copies one 512-byte block between the simulated SD card and the
@@ -411,33 +362,12 @@ func (k *Kernel) hcSD(pd *PD, block, ramOffset uint32, write bool) uint32 {
 	return StatusOK
 }
 
-// --- Hardware Task Manager capability portals (§IV-E, Fig. 7) ---
-
-func (k *Kernel) managerPortal(pd *PD, num int, args [4]uint32) uint32 {
-	switch num {
-	case HcMgrNextRequest:
-		return k.mgrNextRequest(pd)
-
-	case HcMgrComplete:
-		return k.mgrComplete(pd, args[0], args[1])
-
-	case HcMgrMapIface:
-		return k.mgrMapIface(args[0], int(args[1]))
-
-	case HcMgrUnmapIface:
-		return k.mgrUnmapIface(int(args[0]), int(args[1]))
-
-	case HcMgrHwMMULoad:
-		return k.mgrHwMMULoad(int(args[0]), int(args[1]))
-
-	case HcMgrPCAPStart:
-		return k.mgrPCAPStart(args[0], args[1], args[2], args[3])
-
-	case HcMgrAllocIRQ:
-		return k.mgrAllocIRQ(args[0], int(args[1]))
-	}
-	return StatusInval
-}
+// --- Hardware Task Manager portal bodies (§IV-E, Fig. 7) -------------
+//
+// The portal wrappers in portals.go have already resolved the caller's
+// capabilities to the objects each operation touches (request-queue
+// semaphore, hw-task slots, client PDs, the PCAP and the bitstream
+// store); these bodies perform the privileged effect.
 
 // mgrNextRequest pops the oldest queued request, blocking (service
 // suspends itself) while the queue is empty. Completing the entry probe
@@ -514,7 +444,7 @@ func (k *Kernel) MgrRequest(reqID uint32) (MgrRequestView, bool) {
 // guests have no mapping, which is the exclusivity guarantee of §IV-C.
 func (k *Kernel) mgrMapIface(reqID uint32, prr int) uint32 {
 	req, ok := k.hwByID[reqID]
-	if !ok || k.Fabric == nil || prr < 0 || prr >= len(k.Fabric.PRRs) {
+	if !ok || k.Fabric == nil || prr >= len(k.Fabric.PRRs) {
 		return StatusInval
 	}
 	va := req.IfaceVA
@@ -536,12 +466,13 @@ func (k *Kernel) mgrMapIface(reqID uint32, prr int) uint32 {
 // mgrUnmapIface revokes a client's interface mapping and performs the
 // consistency save of §IV-C: the register-group snapshot goes into the
 // former owner's data section together with the "inconsistent" state
-// flag, then the PL IRQ line is withdrawn from its vGIC.
-func (k *Kernel) mgrUnmapIface(pdID, prr int) uint32 {
-	if pdID < 0 || pdID >= len(k.PDs) || k.Fabric == nil {
+// flag, then the PL IRQ line is withdrawn from its vGIC. The client is
+// a capability-resolved PD handle (the manager holds delegated client
+// capabilities, not raw IDs).
+func (k *Kernel) mgrUnmapIface(client *PD, prr int) uint32 {
+	if k.Fabric == nil {
 		return StatusInval
 	}
-	client := k.PDs[pdID]
 	va, ok := client.ifaceVA[prr]
 	if !ok || va == 0 {
 		return StatusInval
@@ -576,40 +507,42 @@ func (k *Kernel) mgrUnmapIface(pdID, prr int) uint32 {
 }
 
 // mgrHwMMULoad points PRR prr's DMA window at the client's data section —
-// stage (4) of Fig. 7.
-func (k *Kernel) mgrHwMMULoad(pdID, prr int) uint32 {
-	if pdID < 0 || pdID >= len(k.PDs) || k.Fabric == nil {
+// stage (4) of Fig. 7. The window is read from the client's own
+// memory-region object (registered by HcRegionCreate), so the manager
+// can only target a section the client itself declared.
+func (k *Kernel) mgrHwMMULoad(client *PD, prr int) uint32 {
+	if k.Fabric == nil {
 		return StatusInval
 	}
-	client := k.PDs[pdID]
-	if client.DataSectionSize == 0 {
-		return StatusInval
+	obj, err := client.Space.Lookup(SelDataSect, capspace.ObjMemRegion, capspace.RightCall)
+	if err != capspace.OK {
+		return StatusInval // client registered no (live) data section
 	}
-	k.Fabric.HwMMU.Load(prr, pl.Window{
-		Base: client.DataSectionPA, Size: client.DataSectionSize, Valid: true,
-	})
+	w := obj.Payload.(regionWindow)
+	k.Fabric.HwMMU.Load(prr, pl.Window{Base: w.Base, Size: w.Size, Valid: true})
 	k.Clock.Advance(2 * CostDeviceAccess)
 	// Reset the consistency flag for the new owner.
-	_ = k.Bus.Write32(client.DataSectionPA, DataSectFlagOwned)
+	_ = k.Bus.Write32(w.Base, DataSectFlagOwned)
 	return StatusOK
 }
 
 // mgrPCAPStart launches a bitstream download — stage (5) of Fig. 7 —
 // through the reconfiguration pipeline. The source is an offset into the
-// bitstream store (mapped exclusively into the manager's space, §IV-B):
-// a cached image goes straight to the PCAP leg, a cold one is staged
-// from the SD card first, and a busy PCAP queues the request by the
-// client's priority instead of bouncing it back as Busy. The completion
-// IRQ is routed to the requesting client when its transfer actually
-// starts ("always connected to the VM which launches the current
-// transfer", §IV-D).
-func (k *Kernel) mgrPCAPStart(reqID, srcOff, length uint32, prr uint32) uint32 {
+// bitstream store region whose capability the manager holds (§IV-B: the
+// store is mapped exclusively into the manager's space): a cached image
+// goes straight to the PCAP leg, a cold one is staged from the SD card
+// first, and a busy PCAP queues the request by the client's priority
+// instead of bouncing it back as Busy. The completion IRQ is routed to
+// the requesting client when its transfer actually starts ("always
+// connected to the VM which launches the current transfer", §IV-D).
+func (k *Kernel) mgrPCAPStart(reqID, srcOff, length uint32, prr int, store regionWindow) uint32 {
 	req, ok := k.hwByID[reqID]
 	if !ok || k.Fabric == nil || k.Reconfig == nil {
 		return StatusInval
 	}
-	// Overflow-safe store-bounds check: srcOff+length could wrap uint32.
-	if srcOff > 22<<20 || length > 22<<20-srcOff {
+	// Overflow-safe store-bounds check against the region capability:
+	// srcOff+length could wrap uint32.
+	if srcOff > store.Size || length > store.Size-srcOff {
 		return StatusInval
 	}
 	pd := req.PD
@@ -617,7 +550,7 @@ func (k *Kernel) mgrPCAPStart(reqID, srcOff, length uint32, prr uint32) uint32 {
 		Key:      srcOff,
 		SrcOff:   srcOff,
 		Len:      length,
-		Target:   int(prr),
+		Target:   prr,
 		Priority: pd.Priority,
 		Owner:    pd,
 		OnStart: func(*reconfig.Request) {
@@ -669,11 +602,9 @@ func (k *Kernel) mgrAllocIRQ(reqID uint32, prr int) uint32 {
 	return uint32(irq)
 }
 
-// Data-section reserved-structure flags (§IV-C).
+// Data-section reserved-structure flags (§IV-C), shared with the guest
+// side through the ABI package.
 const (
-	// DataSectFlagOwned: the hardware task is consistently owned.
-	DataSectFlagOwned = 1
-	// DataSectFlagInconsistent: the task was reclaimed by another VM; the
-	// saved register image follows.
-	DataSectFlagInconsistent = 2
+	DataSectFlagOwned        = abi.DataSectFlagOwned
+	DataSectFlagInconsistent = abi.DataSectFlagInconsistent
 )

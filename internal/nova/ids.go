@@ -9,69 +9,87 @@
 // the kernel through hypercalls (SWI), undefined-instruction traps and
 // aborts, exactly as §III of the paper lays out. The four microkernel
 // properties of §III — CPU virtualization (vcpu.go), memory management
-// (memory.go), communication (ipc.go, hypercall.go) and scheduling
+// (memory.go), communication (portal IPC in hypercall.go) and scheduling
 // (delegated to the pluggable internal/sched subsystem) — plus the
 // virtual interrupt layer (vgic.go) are tied together by the Kernel
 // object (kernel.go), which owns one CoreCtx (core.go) per simulated
 // Cortex-A9 core.
+//
+// Since the capability-space refactor every request path runs on
+// internal/capspace: kernel objects are typed (PD, portal, semaphore,
+// memory region, hardware-task slot), each PD holds a capability table,
+// and a hypercall number is a selector the dispatcher resolves through
+// the caller's table before invoking the object's portal handler
+// (portals.go). The numbers themselves live in internal/abi — the single
+// source of truth shared with the guest-side stubs — and are aliased
+// here so kernel code and its tests keep their historical spelling.
 package nova
 
-import "fmt"
+import (
+	"fmt"
 
-// Hypercall numbers. The paper: "A total number of 25 hypercalls are
-// provided to paravirtualized operating systems" (§V-B). Calls 0–24 are
-// the guest-visible set; the HcMgr* portals above them are capability-
-// gated portals only the Hardware Task Manager's protection domain may
-// invoke (§III-A: PD "distributes them to different capability portals").
-const (
-	HcNull          = 0  // no-op; measures bare hypercall latency
-	HcPrint         = 1  // supervised console output
-	HcVMID          = 2  // returns the caller's VM identifier
-	HcYield         = 3  // give up the remainder of the time slice
-	HcTimerSet      = 4  // program the virtual timer (periodic, cycles)
-	HcTimerCancel   = 5  // stop the virtual timer
-	HcIRQEnable     = 6  // enable a line in the caller's vGIC
-	HcIRQDisable    = 7  // disable a line in the caller's vGIC
-	HcIRQEOI        = 8  // acknowledge completion of an injected vIRQ
-	HcCacheFlush    = 9  // clean+invalidate D-caches (guest cache op, §III-A)
-	HcTLBFlush      = 10 // flush the caller's ASID from the TLB
-	HcMapPage       = 11 // insert a mapping inside the caller's space
-	HcUnmapPage     = 12 // remove a mapping inside the caller's space
-	HcRegionCreate  = 13 // declare a hardware-task data section
-	HcDACRSwitch    = 14 // guest kernel<->guest user transition (Table II)
-	HcHwTaskRequest = 15 // request a hardware task (§IV-E, three arguments)
-	HcHwTaskRelease = 16 // release a held hardware task
-	HcHwTaskStatus  = 17 // poll task/PCAP completion state
-	HcIPCSend       = 18 // inter-VM message send
-	HcIPCRecv       = 19 // inter-VM message receive
-	HcUARTWrite     = 20 // supervised UART access (§V-A shared I/O)
-	HcUARTRead      = 21
-	HcSDRead        = 22 // supervised SD block read
-	HcSDWrite       = 23
-	HcSuspend       = 24 // remove self from the run queue (services)
-
-	// NumHypercalls is the guest-visible hypercall count (paper §V-B: 25).
-	NumHypercalls = 25
-
-	// Capability portals for the Hardware Task Manager service.
-	HcMgrNextRequest = 25 // fetch the next queued hardware-task request
-	HcMgrMapIface    = 26 // map a PRR register page into a client VM
-	HcMgrUnmapIface  = 27 // unmap it from the previous client
-	HcMgrHwMMULoad   = 28 // load a client's data-section window
-	HcMgrPCAPStart   = 29 // launch a PCAP reconfiguration
-	HcMgrComplete    = 30 // post the reply for a finished request
-	HcMgrAllocIRQ    = 31 // allocate a PL IRQ line and register it in the client's vGIC
+	"repro/internal/abi"
 )
 
-// Hypercall status codes returned in R0 (§IV-E: success / reconfig / busy).
+// Hypercall selectors (see internal/abi for the authoritative layout and
+// documentation). The paper: "A total number of 25 hypercalls are
+// provided to paravirtualized operating systems" (§V-B). Calls 0–24 are
+// the guest-visible set; the HcMgr* portal capabilities above them exist
+// only in the Hardware Task Manager's protection domain (§III-A: a PD
+// "distributes them to different capability portals").
 const (
-	StatusOK       = 0
-	StatusReconfig = 1 // request accepted, PCAP transfer in flight
-	StatusBusy     = 2 // no idle PRR can host the task right now
-	StatusErr      = ^uint32(0)
-	StatusNoMsg    = 3 // IPC: nothing queued
-	StatusInval    = 4 // bad arguments
-	StatusDenied   = 5 // capability/permission failure
+	HcNull          = abi.HcNull
+	HcPrint         = abi.HcPrint
+	HcVMID          = abi.HcVMID
+	HcYield         = abi.HcYield
+	HcTimerSet      = abi.HcTimerSet
+	HcTimerCancel   = abi.HcTimerCancel
+	HcIRQEnable     = abi.HcIRQEnable
+	HcIRQDisable    = abi.HcIRQDisable
+	HcIRQEOI        = abi.HcIRQEOI
+	HcCacheFlush    = abi.HcCacheFlush
+	HcTLBFlush      = abi.HcTLBFlush
+	HcMapPage       = abi.HcMapPage
+	HcUnmapPage     = abi.HcUnmapPage
+	HcRegionCreate  = abi.HcRegionCreate
+	HcDACRSwitch    = abi.HcDACRSwitch
+	HcHwTaskRequest = abi.HcHwTaskRequest
+	HcHwTaskRelease = abi.HcHwTaskRelease
+	HcHwTaskStatus  = abi.HcHwTaskStatus
+	HcPortalCall    = abi.HcPortalCall
+	HcPortalRecv    = abi.HcPortalRecv
+	HcUARTWrite     = abi.HcUARTWrite
+	HcUARTRead      = abi.HcUARTRead
+	HcSDRead        = abi.HcSDRead
+	HcSDWrite       = abi.HcSDWrite
+	HcSuspend       = abi.HcSuspend
+
+	// NumHypercalls is the guest-visible hypercall count (paper §V-B: 25).
+	NumHypercalls = abi.NumHypercalls
+
+	// Capability portals for the Hardware Task Manager service.
+	HcMgrNextRequest = abi.HcMgrNextRequest
+	HcMgrMapIface    = abi.HcMgrMapIface
+	HcMgrUnmapIface  = abi.HcMgrUnmapIface
+	HcMgrHwMMULoad   = abi.HcMgrHwMMULoad
+	HcMgrPCAPStart   = abi.HcMgrPCAPStart
+	HcMgrComplete    = abi.HcMgrComplete
+	HcMgrAllocIRQ    = abi.HcMgrAllocIRQ
+)
+
+// Hypercall status codes returned in R0 (documented in internal/abi;
+// every failure mode has a distinct code).
+const (
+	StatusOK       = abi.StatusOK
+	StatusReconfig = abi.StatusReconfig
+	StatusBusy     = abi.StatusBusy
+	StatusNoMsg    = abi.StatusNoMsg
+	StatusInval    = abi.StatusInval  // bad arguments to a valid portal
+	StatusDenied   = abi.StatusDenied // capability held, rights missing
+	StatusBadSel   = abi.StatusBadSel // selector resolves no capability
+	StatusRevoked  = abi.StatusRevoked
+	StatusBadType  = abi.StatusBadType
+	StatusErr      = abi.StatusErr
 )
 
 // Priority levels (paper Fig. 3: idle=0, guest OSes=1, user services such

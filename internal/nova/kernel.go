@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/capspace"
 	"repro/internal/cpu"
 	"repro/internal/gic"
 	"repro/internal/measure"
@@ -93,6 +94,20 @@ type Kernel struct {
 	dying    chan struct{}
 	shutdown bool
 
+	// Capability layer: the global service-portal objects (selector-
+	// indexed), the kernel's own root space (device objects are minted
+	// here and delegated out), and the device-authority objects the
+	// Hardware Task Manager receives at registration.
+	portalObjs []*capspace.Object
+	rootSpace  *capspace.Space
+	hwqObj     *capspace.Object   // request-queue semaphore
+	pcapObj    *capspace.Object   // PCAP/reconfiguration authority
+	storeObj   *capspace.Object   // bitstream store region
+	slotObjs   []*capspace.Object // one hw-task slot per PRR
+
+	// ipcFastCalls counts same-core synchronous portal-call handoffs.
+	ipcFastCalls uint64
+
 	// Hardware-task request plumbing (§IV-E).
 	hwQueue   []*HwRequest
 	hwByID    map[uint32]*HwRequest
@@ -166,6 +181,20 @@ func NewKernelSMP(ncores int) *Kernel {
 	k.kernelPT = mmu.NewPageTable(bus, k.Alloc)
 	mapKernelInto(k.kernelPT)
 
+	// Capability layer: mint the service portals and the kernel's own
+	// device objects into the root space. PRR slot objects follow in
+	// AttachFabric (their count is fabric-specific); everything is
+	// delegated to the manager's domain by RegisterHwService.
+	k.buildPortalObjects()
+	k.rootSpace = capspace.NewSpace(rootSelSlotBase)
+	k.hwqObj = capspace.NewObject(capspace.ObjSem, "hwq", nil)
+	k.pcapObj = capspace.NewObject(capspace.ObjPortal, "pcap", nil)
+	k.storeObj = capspace.NewObject(capspace.ObjMemRegion, "bitstore",
+		regionWindow{Base: BitstreamStorePA(), Size: 22 << 20})
+	k.rootSpace.Insert(rootSelQueue, k.hwqObj, capspace.RightsAll)
+	k.rootSpace.Insert(rootSelPCAP, k.pcapObj, capspace.RightsAll)
+	k.rootSpace.Insert(rootSelStore, k.storeObj, capspace.RightsAll)
+
 	hier := cache.NewA9SharedL2(ncores)
 	for i := 0; i < ncores; i++ {
 		c := &CoreCtx{
@@ -208,6 +237,19 @@ func (k *Kernel) AttachFabric(f *pl.Fabric) {
 	k.Fabric = f
 	k.Reconfig = reconfig.New(k.Clock, f, k.Bus, BitstreamStorePA(), reconfig.DefaultConfig())
 	k.Reconfig.Probes = k.Probes
+	// Mint one hardware-task slot object per PRR into the root space.
+	if len(f.PRRs) > maxPRRSlots {
+		panic(fmt.Sprintf("nova: %d PRRs exceed the %d-selector hw-slot window", len(f.PRRs), maxPRRSlots))
+	}
+	k.slotObjs = k.slotObjs[:0]
+	for i := range f.PRRs {
+		o := capspace.NewObject(capspace.ObjHwSlot, fmt.Sprintf("prr%d", i), i)
+		k.slotObjs = append(k.slotObjs, o)
+		k.rootSpace.Insert(rootSelSlotBase+i, o, capspace.RightsAll)
+	}
+	if k.hwSvc != nil {
+		k.delegateManagerPowers(k.hwSvc)
+	}
 }
 
 // BindPLIRQ routes PL interrupt line (0..gic.NumPLIRQs-1) to pd as a
@@ -279,6 +321,7 @@ func (k *Kernel) CreatePD(cfg PDConfig) *PD {
 		Name_:    cfg.Name,
 		Priority: cfg.Priority,
 		Caps:     cfg.Caps,
+		Space:    capspace.NewSpace(SelGrantBase),
 		VGIC:     NewVGIC(),
 		Table:    space.Table,
 		ASID:     k.asidNext,
@@ -288,6 +331,12 @@ func (k *Kernel) CreatePD(cfg PDConfig) *PD {
 		kdata:    KernelDataVA + uint32(id)*0x400,
 	}
 	k.asidNext++
+	k.populateCaps(pd, cfg.Caps)
+	if k.hwSvc != nil && pd != k.hwSvc {
+		// The manager acts on clients through delegated PD capabilities:
+		// every domain born after the service registers is handed over.
+		k.delegateClientHandle(pd)
+	}
 	pd.node = sched.NewNode(pd, cfg.Priority, cfg.Affinity)
 	pd.Core = k.Cores[k.Sched.Place(&pd.node)]
 	pd.VCPU.TTBR = uint32(pd.Table.Base)
@@ -310,12 +359,44 @@ func (k *Kernel) CreatePD(cfg PDConfig) *PD {
 }
 
 // RegisterHwService names the PD running the Hardware Task Manager; the
-// HcHwTaskRequest path wakes it (§IV-E).
+// HcHwTaskRequest path wakes it (§IV-E). Registration is the boot-time
+// delegation step: the kernel hands the service its powers — the
+// request-queue semaphore, the PCAP, the bitstream store region, every
+// PRR's hardware-task slot, and a client capability per existing PD —
+// as capabilities in the service's table. The manager portals then
+// rights-check those capabilities; there is no ambient privilege.
 func (k *Kernel) RegisterHwService(pd *PD) {
 	if pd.Caps&CapHwManager == 0 {
 		panic("nova: hardware service PD lacks CapHwManager")
 	}
 	k.hwSvc = pd
+	k.delegateManagerPowers(pd)
+}
+
+// delegateManagerPowers copies the kernel's device objects out of the
+// root space into the manager's table (call-only), plus a client
+// capability for every PD created before registration.
+func (k *Kernel) delegateManagerPowers(svc *PD) {
+	k.rootSpace.Delegate(rootSelQueue, svc.Space, SelMgrQueue, capspace.RightCall)
+	k.rootSpace.Delegate(rootSelPCAP, svc.Space, SelMgrPCAP, capspace.RightCall)
+	k.rootSpace.Delegate(rootSelStore, svc.Space, SelMgrStore, capspace.RightCall)
+	for i := range k.slotObjs {
+		k.rootSpace.Delegate(rootSelSlotBase+i, svc.Space, SelMgrSlotBase+i, capspace.RightCall)
+	}
+	for _, pd := range k.PDs {
+		if pd != svc {
+			k.delegateClientHandle(pd)
+		}
+	}
+}
+
+// delegateClientHandle hands pd's identity to the registered manager as
+// a call-only client capability at its conventional selector.
+func (k *Kernel) delegateClientHandle(pd *PD) {
+	if pd.ID >= maxClientPDs {
+		panic(fmt.Sprintf("nova: PD id %d exceeds the %d-selector client-handle window", pd.ID, maxClientPDs))
+	}
+	pd.Space.Delegate(SelSelf, k.hwSvc.Space, SelMgrClientBase+pd.ID, capspace.RightCall)
 }
 
 func (k *Kernel) guestWrapper(pd *PD) {
@@ -347,9 +428,12 @@ func (k *Kernel) guestWrapper(pd *PD) {
 		return
 	default:
 	}
-	// Retire the PD and release its scheduler placement.
+	// Retire the PD and release its scheduler placement. Portal callers
+	// parked on the dead PD (queued, or awaiting its reply) would block
+	// forever — fail them out.
 	pd.dead = true
 	k.Sched.Unplace(&pd.node)
+	k.failPortalCallers(pd)
 	for {
 		select {
 		case k.yieldCh <- yieldExited:

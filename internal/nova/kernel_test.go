@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/abi"
 	"repro/internal/bitstream"
 	"repro/internal/gic"
 	"repro/internal/pl"
@@ -271,22 +272,38 @@ func TestDACRSwitchProtectsGuestKernel(t *testing.T) {
 }
 
 func TestIPCRoundTrip(t *testing.T) {
+	// Portal call/reply through a delegated PD capability: the client
+	// calls the server's portal, the server receives, then replies with
+	// the merged reply+receive mode.
 	k := NewKernel()
 	defer k.Shutdown()
-	var got uint32
-	k.CreatePD(PDConfig{Name: "recv", Priority: PrioGuest, Guest: &scriptGuest{"recv", func(env *Env) {
-		got = env.Hypercall(HcIPCRecv, 1) // blocking receive
+	var got, reply uint32
+	server := k.CreatePD(PDConfig{Name: "server", Priority: PrioGuest, Guest: &scriptGuest{"server", func(env *Env) {
+		got = env.Hypercall(HcPortalRecv, abi.RecvBlock)
+		env.Hypercall(HcPortalRecv, abi.RecvReply, 0x51) // reply, poll once
 	}}})
-	k.CreatePD(PDConfig{Name: "send", Priority: PrioGuest, Guest: &scriptGuest{"send", func(env *Env) {
+	var sel uint32
+	client := k.CreatePD(PDConfig{Name: "client", Priority: PrioGuest, Guest: &scriptGuest{"client", func(env *Env) {
 		env.Ctx.Exec(100)
-		env.Hypercall(HcIPCSend, 0, 0xABCDE)
+		reply = env.Hypercall(HcPortalCall, sel, 0xABCDE)
 	}}})
+	s, err := k.DelegateIPC(server, client)
+	if err != nil {
+		t.Fatalf("DelegateIPC: %v", err)
+	}
+	sel = uint32(s)
 	k.RunFor(simclock.FromMillis(2))
 	if got&0xFF_FFFF != 0xABCDE {
 		t.Errorf("received word = %#x, want 0xABCDE", got&0xFF_FFFF)
 	}
 	if sender := got >> 24; sender != 1 {
 		t.Errorf("sender = %d, want 1", sender)
+	}
+	if reply != 0x51 {
+		t.Errorf("caller's reply = %#x, want 0x51", reply)
+	}
+	if p := k.Probes.Get("ipc_call"); p.Count != 1 {
+		t.Errorf("ipc_call probe samples = %d, want 1", p.Count)
 	}
 }
 
@@ -295,7 +312,7 @@ func TestIPCNonBlockingEmpty(t *testing.T) {
 	defer k.Shutdown()
 	var got uint32
 	k.CreatePD(PDConfig{Name: "g", Priority: PrioGuest, Guest: &scriptGuest{"g", func(env *Env) {
-		got = env.Hypercall(HcIPCRecv, 0)
+		got = env.Hypercall(HcPortalRecv, 0)
 	}}})
 	k.RunFor(simclock.FromMillis(1))
 	if got != StatusNoMsg {
@@ -425,7 +442,10 @@ func TestHwRequestRequiresDataSection(t *testing.T) {
 	}
 }
 
-func TestManagerPortalDeniedWithoutCap(t *testing.T) {
+func TestManagerPortalUnreachableWithoutDelegation(t *testing.T) {
+	// A guest's capability table simply has no slot for the manager
+	// portals: invoking one resolves nothing (BadSel), same as a made-up
+	// call number — the portal does not exist in that space.
 	k := NewKernel()
 	defer k.Shutdown()
 	var got uint32
@@ -433,8 +453,8 @@ func TestManagerPortalDeniedWithoutCap(t *testing.T) {
 		got = env.Hypercall(HcMgrHwMMULoad, 0, 0)
 	}}})
 	k.RunFor(simclock.FromMillis(1))
-	if got != StatusDenied {
-		t.Errorf("portal without capability = %d, want StatusDenied", got)
+	if got != StatusBadSel {
+		t.Errorf("portal without delegation = %d, want StatusBadSel", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package nova
 
 import (
+	"repro/internal/capspace"
 	"repro/internal/cpu"
 	"repro/internal/mmu"
 	"repro/internal/physmem"
@@ -24,22 +25,24 @@ type Guest interface {
 	RunSlice(env *Env)
 }
 
-// Capability bits held by a PD — the capability interface of §III-A.
+// Capability is a boot-time grant descriptor: PDConfig.Caps names the
+// powers a domain is born with, and CreatePD translates each bit into
+// actual capability-table contents (see populateCaps). At run time the
+// kernel never tests these bits — rights live in pd.Space.
 type Capability uint32
 
-// Capabilities.
+// Boot grants.
 const (
-	// CapHwManager unlocks the HcMgr* portals (only the Hardware Task
-	// Manager service's PD carries it).
+	// CapHwManager installs the HcMgr* portal capabilities; the kernel's
+	// device objects (request queue, PCAP, bitstream store, PRR slots,
+	// client PDs) are delegated when the PD is registered as the Hardware
+	// Task Manager service (RegisterHwService).
 	CapHwManager Capability = 1 << iota
-	// CapIODirect allows supervised SD hypercalls.
+	// CapIODirect grants RightCall on the supervised SD-write portal
+	// (every PD holds the capability, but without the grant it carries
+	// no rights and invoking it is Denied).
 	CapIODirect
 )
-
-type ipcMsg struct {
-	sender int
-	word   uint32
-}
 
 // PD is a protection domain: "a resource container and a capability
 // interface between a virtual machine and the microkernel. It holds the
@@ -50,6 +53,14 @@ type PD struct {
 	Name_    string
 	Priority int
 	Caps     Capability
+
+	// Space is the PD's capability table: every kernel request resolves
+	// a selector through it (§III-A's capability interface, rebuilt on
+	// internal/capspace). selfObj is the PD's own kernel object — the
+	// identity other domains hold capabilities to (IPC destinations, the
+	// manager's client handles).
+	Space   *capspace.Space
+	selfObj *capspace.Object
 
 	// Core is the PD's home core, chosen by the scheduling policy from
 	// the PD's affinity mask at creation. The vCPU, all of the guest's
@@ -92,9 +103,15 @@ type PD struct {
 	timerEvent     *simclock.Event
 	timerRemaining simclock.Cycles
 
-	// IPC mailbox (bounded).
-	mbox        []ipcMsg
+	// Portal IPC state (call/reply through PD-object capabilities):
+	// callers queue on the callee, the callee replies to the caller it
+	// last received from; a caller parks its outgoing word and resumes
+	// when ipcReply is posted.
+	ipcCallers  []*PD
+	replyTo     *PD
 	recvBlocked bool
+	ipcWord     uint32
+	ipcReply    uint32
 
 	// idleWaiting marks a PD blocked in paravirtualized idle (HcSuspend
 	// mode 1): any vIRQ injection wakes it, and its virtual timer keeps

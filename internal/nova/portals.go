@@ -1,0 +1,448 @@
+package nova
+
+import (
+	"repro/internal/abi"
+	"repro/internal/capspace"
+	"repro/internal/cpu"
+	"repro/internal/gic"
+	"repro/internal/simclock"
+)
+
+// Object-capability selector conventions above the service-portal range
+// (abi.NumPortalSelectors). Selectors are space-local: these constants
+// only describe where the kernel installs each capability at boot; a
+// domain that was never delegated the object simply has an empty slot.
+const (
+	// SelSelf is every PD's capability to its own PD object (full
+	// rights: the PD may delegate its IPC identity and revoke it).
+	SelSelf = abi.NumPortalSelectors + 0
+	// SelDataSect is the PD's registered hardware-task data section
+	// (memory-region object created by HcRegionCreate).
+	SelDataSect = abi.NumPortalSelectors + 1
+
+	// Manager-side device capabilities, delegated by RegisterHwService.
+	SelMgrQueue = abi.NumPortalSelectors + 2 // hw-request queue semaphore
+	SelMgrPCAP  = abi.NumPortalSelectors + 3 // PCAP/reconfiguration pipeline
+	SelMgrStore = abi.NumPortalSelectors + 4 // bitstream store region
+
+	// SelMgrSlotBase + prr: the fabric's hardware-task slot objects
+	// (window of maxPRRSlots selectors; AttachFabric guards it).
+	SelMgrSlotBase = abi.NumPortalSelectors + 16
+	// SelMgrClientBase + pd.ID: client PD objects (the handles the
+	// manager acts on when reclaiming or loading DMA windows; window of
+	// maxClientPDs selectors, guarded at delegation).
+	SelMgrClientBase = SelMgrSlotBase + maxPRRSlots
+
+	// SelGrantBase is where DelegateIPC places peer capabilities —
+	// strictly above every fixed window, so delegations can never
+	// silently overwrite a conventional capability.
+	SelGrantBase = SelMgrClientBase + maxClientPDs
+)
+
+// Fixed-window capacities. Exceeding one is a topology the selector
+// layout cannot express; the delegation sites panic loudly instead of
+// silently aliasing a neighbouring window.
+const (
+	maxPRRSlots  = 16
+	maxClientPDs = 64
+)
+
+// Kernel root-space selectors: the kernel mints its device objects into
+// its own space (the boot domain) and delegates them from there.
+const (
+	rootSelQueue    = 0
+	rootSelPCAP     = 1
+	rootSelStore    = 2
+	rootSelSlotBase = 8 // + prr
+)
+
+// portalFn is a portal handler: the kernel code a resolved portal
+// capability transfers control to.
+type portalFn func(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32
+
+// portalDesc is the payload of an ObjPortal service object: the handler
+// plus its modelled path length in instructions (the kernel code the
+// handler executes after decode + capability resolution).
+type portalDesc struct {
+	fn   portalFn
+	cost int
+}
+
+// capStatus maps a capability-resolution failure to its ABI status code.
+func capStatus(e capspace.Err) uint32 {
+	switch e {
+	case capspace.ErrBadSel:
+		return StatusBadSel
+	case capspace.ErrRevoked:
+		return StatusRevoked
+	case capspace.ErrBadType:
+		return StatusBadType
+	case capspace.ErrDenied:
+		return StatusDenied
+	}
+	return StatusErr
+}
+
+// newPortal mints one service-portal object.
+func newPortal(name string, cost int, fn portalFn) *capspace.Object {
+	return capspace.NewObject(capspace.ObjPortal, name, &portalDesc{fn: fn, cost: cost})
+}
+
+// buildPortalObjects mints the global service-portal objects (shared by
+// every space; what differs per PD is which capabilities its table
+// holds, and with what rights). Costs are the handler path lengths the
+// old dispatch table charged.
+func (k *Kernel) buildPortalObjects() {
+	p := make([]*capspace.Object, abi.NumPortalSelectors)
+
+	p[HcNull] = newPortal("null", 18, portalNull)
+	p[HcPrint] = newPortal("print", 30, portalPrint)
+	p[HcVMID] = newPortal("vmid", 20, portalVMID)
+	p[HcYield] = newPortal("yield", 28, portalYield)
+	p[HcTimerSet] = newPortal("timer_set", 55, portalTimerSet)
+	p[HcTimerCancel] = newPortal("timer_cancel", 35, portalTimerCancel)
+	p[HcIRQEnable] = newPortal("irq_enable", 45, portalIRQEnable)
+	p[HcIRQDisable] = newPortal("irq_disable", 45, portalIRQDisable)
+	p[HcIRQEOI] = newPortal("irq_eoi", 32, portalIRQEOI)
+	p[HcCacheFlush] = newPortal("cache_flush", 60, portalCacheFlush)
+	p[HcTLBFlush] = newPortal("tlb_flush", 40, portalTLBFlush)
+	p[HcMapPage] = newPortal("map_page", 90, portalMapPage)
+	p[HcUnmapPage] = newPortal("unmap_page", 80, portalUnmapPage)
+	p[HcRegionCreate] = newPortal("region_create", 85, portalRegionCreate)
+	p[HcDACRSwitch] = newPortal("dacr_switch", 30, portalDACRSwitch)
+	p[HcHwTaskRequest] = newPortal("hwtask_request", 95, portalHwTaskRequest)
+	p[HcHwTaskRelease] = newPortal("hwtask_release", 70, portalHwTaskRelease)
+	p[HcHwTaskStatus] = newPortal("hwtask_status", 40, portalHwTaskStatus)
+	p[HcPortalCall] = newPortal("portal_call", 70, portalIPCCall)
+	p[HcPortalRecv] = newPortal("portal_recv", 60, portalIPCRecv)
+	p[HcUARTWrite] = newPortal("uart_write", 35, portalUARTWrite)
+	p[HcUARTRead] = newPortal("uart_read", 35, portalUARTRead)
+	p[HcSDRead] = newPortal("sd_read", 120, portalSDRead)
+	p[HcSDWrite] = newPortal("sd_write", 120, portalSDWrite)
+	p[HcSuspend] = newPortal("suspend", 40, portalSuspend)
+
+	p[HcMgrNextRequest] = newPortal("mgr_next_request", 50, portalMgrNextRequest)
+	p[HcMgrMapIface] = newPortal("mgr_map_iface", 110, portalMgrMapIface)
+	p[HcMgrUnmapIface] = newPortal("mgr_unmap_iface", 70, portalMgrUnmapIface)
+	p[HcMgrHwMMULoad] = newPortal("mgr_hwmmu_load", 45, portalMgrHwMMULoad)
+	p[HcMgrPCAPStart] = newPortal("mgr_pcap_start", 85, portalMgrPCAPStart)
+	p[HcMgrComplete] = newPortal("mgr_complete", 60, portalMgrComplete)
+	p[HcMgrAllocIRQ] = newPortal("mgr_alloc_irq", 75, portalMgrAllocIRQ)
+
+	k.portalObjs = p
+}
+
+// populateCaps installs a fresh PD's capability table: the guest-visible
+// service portals (call-only — guests cannot delegate kernel portals),
+// the PD's own object (full rights), and whatever the boot grants name.
+func (k *Kernel) populateCaps(pd *PD, grants Capability) {
+	for sel := 0; sel < NumHypercalls; sel++ {
+		r := capspace.RightCall
+		if sel == HcSDWrite && grants&CapIODirect == 0 {
+			// The portal is present in every table, but without the I/O
+			// grant the capability carries no rights: invoking it is a
+			// rights failure (Denied), not an unknown selector.
+			r = 0
+		}
+		pd.Space.Insert(sel, k.portalObjs[sel], r)
+	}
+	if grants&CapHwManager != 0 {
+		for sel := NumHypercalls; sel < abi.NumPortalSelectors; sel++ {
+			pd.Space.Insert(sel, k.portalObjs[sel], capspace.RightCall)
+		}
+	}
+	pd.selfObj = capspace.NewObject(capspace.ObjPD, pd.Name_, pd)
+	pd.Space.Insert(SelSelf, pd.selfObj, capspace.RightsAll)
+}
+
+// DelegateIPC copies pd's PD-object capability into to's space
+// (call-only), making pd a portal-call destination for to. Returns the
+// selector minted in to's space. This is the kernel API harnesses use to
+// wire IPC topologies at boot; the delegation flows through pd's own
+// self capability, so it is counted in pd's delegation stats and dies
+// with a revocation of pd's identity.
+func (k *Kernel) DelegateIPC(pd, to *PD) (int, error) {
+	sel, err := pd.Space.DelegateFree(SelSelf, to.Space, SelGrantBase, capspace.RightCall)
+	if err != capspace.OK {
+		return -1, err
+	}
+	return sel, nil
+}
+
+// CapStats aggregates capability traffic across the kernel's root space
+// and every PD's table (replay-deterministic; folded into scenario
+// checksums).
+func (k *Kernel) CapStats() capspace.Stats {
+	total := k.rootSpace.Stats
+	for _, pd := range k.PDs {
+		total.Add(pd.Space.Stats)
+	}
+	return total
+}
+
+// IPCFastCalls counts portal calls that took the same-core synchronous
+// handoff fast path.
+func (k *Kernel) IPCFastCalls() uint64 { return k.ipcFastCalls }
+
+// --- Guest service portals (the paper's 25 hypercalls) ---------------
+
+func portalNull(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	return StatusOK
+}
+
+func portalPrint(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	k.Console.WriteByte(byte(args[0]))
+	k.Clock.Advance(CostDeviceAccess)
+	return StatusOK
+}
+
+// portalVMID resolves the caller's own PD object — the identity read is
+// a real capability lookup, so a domain that revoked its self
+// capability has no VMID. Failures return StatusErr (all-ones), never a
+// small status code: the reply channel carries the ID itself, and a
+// legitimate PD ID must stay distinguishable from an error.
+func portalVMID(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	obj, err := pd.Space.Lookup(SelSelf, capspace.ObjPD, capspace.RightCall)
+	if err != capspace.OK {
+		return StatusErr
+	}
+	return uint32(obj.Payload.(*PD).ID)
+}
+
+func portalYield(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	c.quantumExpired = true
+	c.needResched = true
+	return StatusOK
+}
+
+func portalTimerSet(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	return k.hcTimerSet(pd, simclock.Cycles(args[0]))
+}
+
+func portalTimerCancel(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	k.parkVirtualTimer(pd)
+	pd.VCPU.TimerPeriod = 0
+	pd.timerRemaining = 0
+	return StatusOK
+}
+
+func portalIRQEnable(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	irq := int(args[0])
+	if irq == gic.PrivateTimerIRQ {
+		pd.VGIC.Register(irq) // virtual timer PPI: self-service
+	}
+	if !pd.VGIC.Enable(irq) {
+		return StatusDenied
+	}
+	if physicalLine(irq) && pd == c.Current {
+		k.GIC.Enable(irq)
+		k.Clock.Advance(CostDeviceAccess)
+	}
+	return StatusOK
+}
+
+func portalIRQDisable(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	irq := int(args[0])
+	if !pd.VGIC.Disable(irq) {
+		return StatusDenied
+	}
+	if physicalLine(irq) {
+		k.GIC.Disable(irq)
+		k.Clock.Advance(CostDeviceAccess)
+	}
+	return StatusOK
+}
+
+func portalIRQEOI(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	if !pd.VGIC.EOI(int(args[0])) {
+		return StatusInval
+	}
+	return StatusOK
+}
+
+func portalCacheFlush(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	c.CPU.CP15Write(cpu.CP15DCCISW, 0)
+	return StatusOK
+}
+
+func portalTLBFlush(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	c.CPU.CP15Write(cpu.CP15TLBIASID, uint32(pd.ASID))
+	return StatusOK
+}
+
+func portalMapPage(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	return k.hcMapPage(pd, args[0], args[1])
+}
+
+func portalUnmapPage(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	return k.hcUnmapPage(pd, args[0])
+}
+
+func portalRegionCreate(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	return k.hcRegionCreate(pd, args[0], args[1])
+}
+
+func portalDACRSwitch(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	guestKernelCtx := args[0] != 0
+	d := dacrFor(guestKernelCtx)
+	pd.VCPU.DACR = d
+	c.CPU.CP15Write(cpu.CP15DACR, d)
+	return StatusOK
+}
+
+func portalHwTaskRequest(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	return k.hcHwTaskRequest(pd, HwReqAcquire, args)
+}
+
+func portalHwTaskRelease(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	return k.hcHwTaskRequest(pd, HwReqRelease, args)
+}
+
+func portalHwTaskStatus(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	return k.hcHwTaskStatus(pd, args[0])
+}
+
+func portalIPCCall(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	return k.hcPortalCall(c, pd, int(args[0]), args[1])
+}
+
+func portalIPCRecv(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	return k.hcPortalRecv(pd, args[0], args[1])
+}
+
+func portalUARTWrite(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	k.Console.WriteByte(byte(args[0]))
+	k.Clock.Advance(CostDeviceAccess)
+	return StatusOK
+}
+
+func portalUARTRead(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	k.Clock.Advance(CostDeviceAccess)
+	return 0 // no input source modelled; returns "no data"
+}
+
+func portalSDRead(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	return k.hcSD(pd, args[0], args[1], false)
+}
+
+// portalSDWrite needs no explicit I/O check: a PD without CapIODirect
+// holds the capability with no rights, so resolution already failed
+// with Denied before the handler could run.
+func portalSDWrite(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	return k.hcSD(pd, args[0], args[1], true)
+}
+
+func portalSuspend(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	if args[0] == 1 {
+		// Paravirtualized idle: sleep until a virtual interrupt is
+		// injected (the guest's WFI). A pending injection returns
+		// immediately.
+		if pd.VGIC.HasPending() {
+			return StatusOK
+		}
+		pd.idleWaiting = true
+		pd.Env.block()
+		pd.idleWaiting = false
+		return StatusOK
+	}
+	pd.Env.block()
+	return StatusOK
+}
+
+// --- Hardware Task Manager portals (§IV-E, Fig. 7) -------------------
+//
+// Each handler re-resolves the device capabilities the operation needs
+// from the *caller's* space: the portals are reachable only in a domain
+// they were delegated to, and the objects they act on (queue, slots,
+// PCAP, store, client PDs) must additionally be held — the manager's
+// powers are exactly the set of capabilities RegisterHwService
+// delegated, not an ambient privilege bit.
+
+func portalMgrNextRequest(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	if _, err := pd.Space.Lookup(SelMgrQueue, capspace.ObjSem, capspace.RightCall); err != capspace.OK {
+		return capStatus(err)
+	}
+	return k.mgrNextRequest(pd)
+}
+
+func portalMgrComplete(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	if _, err := pd.Space.Lookup(SelMgrQueue, capspace.ObjSem, capspace.RightCall); err != capspace.OK {
+		return capStatus(err)
+	}
+	return k.mgrComplete(pd, args[0], args[1])
+}
+
+// slotCap resolves the caller's capability to PRR prr's hardware-task
+// slot object.
+func slotCap(pd *PD, prr int) (uint32, bool) {
+	if prr < 0 {
+		return StatusBadSel, false
+	}
+	if _, err := pd.Space.Lookup(SelMgrSlotBase+prr, capspace.ObjHwSlot, capspace.RightCall); err != capspace.OK {
+		return capStatus(err), false
+	}
+	return StatusOK, true
+}
+
+// clientCap resolves the caller's capability to client PD pdID.
+func clientCap(pd *PD, pdID int) (*PD, uint32, bool) {
+	if pdID < 0 {
+		return nil, StatusBadSel, false
+	}
+	obj, err := pd.Space.Lookup(SelMgrClientBase+pdID, capspace.ObjPD, capspace.RightCall)
+	if err != capspace.OK {
+		return nil, capStatus(err), false
+	}
+	return obj.Payload.(*PD), StatusOK, true
+}
+
+func portalMgrMapIface(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	prr := int(args[1])
+	if st, ok := slotCap(pd, prr); !ok {
+		return st
+	}
+	return k.mgrMapIface(args[0], prr)
+}
+
+func portalMgrUnmapIface(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	client, st, ok := clientCap(pd, int(args[0]))
+	if !ok {
+		return st
+	}
+	if st, ok := slotCap(pd, int(args[1])); !ok {
+		return st
+	}
+	return k.mgrUnmapIface(client, int(args[1]))
+}
+
+func portalMgrHwMMULoad(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	client, st, ok := clientCap(pd, int(args[0]))
+	if !ok {
+		return st
+	}
+	if st, ok := slotCap(pd, int(args[1])); !ok {
+		return st
+	}
+	return k.mgrHwMMULoad(client, int(args[1]))
+}
+
+func portalMgrPCAPStart(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	if _, err := pd.Space.Lookup(SelMgrPCAP, capspace.ObjPortal, capspace.RightCall); err != capspace.OK {
+		return capStatus(err)
+	}
+	store, err := pd.Space.Lookup(SelMgrStore, capspace.ObjMemRegion, capspace.RightCall)
+	if err != capspace.OK {
+		return capStatus(err)
+	}
+	if st, ok := slotCap(pd, int(args[3])); !ok {
+		return st
+	}
+	return k.mgrPCAPStart(args[0], args[1], args[2], int(args[3]), store.Payload.(regionWindow))
+}
+
+func portalMgrAllocIRQ(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
+	if st, ok := slotCap(pd, int(args[1])); !ok {
+		return st
+	}
+	return k.mgrAllocIRQ(args[0], int(args[1]))
+}

@@ -1,6 +1,7 @@
 package nova
 
 import (
+	"repro/internal/abi"
 	"testing"
 
 	"repro/internal/bitstream"
@@ -64,11 +65,12 @@ func TestCrossCoreWakeRaisesSGI(t *testing.T) {
 	// cores, which travels as a reschedule SGI on core 1's interface.
 	k := dualKernel()
 	defer k.Shutdown()
-	var got uint32
-	k.CreatePD(PDConfig{
+	var got, reply uint32
+	server := k.CreatePD(PDConfig{
 		Name: "recv", Priority: PrioService, Affinity: sched.MaskOf(1),
 		Guest: &scriptGuest{"recv", func(env *Env) {
-			got = env.Hypercall(HcIPCRecv, 1) // blocking receive on core 1
+			got = env.Hypercall(HcPortalRecv, abi.RecvBlock) // blocked on core 1
+			env.Hypercall(HcPortalRecv, abi.RecvReply, 0x77) // reply the caller
 			for {
 				env.Ctx.Exec(100)
 				env.CheckPreempt()
@@ -84,28 +86,41 @@ func TestCrossCoreWakeRaisesSGI(t *testing.T) {
 			}
 		}},
 	})
-	k.CreatePD(PDConfig{
+	var sel uint32
+	client := k.CreatePD(PDConfig{
 		Name: "send", Priority: PrioGuest, Affinity: sched.MaskOf(0),
 		Guest: &scriptGuest{"send", func(env *Env) {
 			// Let core 1 reach steady state (receiver blocked, spinner
-			// running) before sending.
+			// running) before calling.
 			for env.Now() < simclock.FromMillis(2) {
 				env.Ctx.Exec(100)
 				env.CheckPreempt()
 			}
-			env.Hypercall(HcIPCSend, 0, 0xBEEF)
+			reply = env.Hypercall(HcPortalCall, sel, 0xBEEF)
 			for {
 				env.Ctx.Exec(100)
 				env.CheckPreempt()
 			}
 		}},
 	})
+	s, err := k.DelegateIPC(server, client)
+	if err != nil {
+		t.Fatalf("DelegateIPC: %v", err)
+	}
+	sel = uint32(s)
 	k.RunFor(simclock.FromMillis(5))
 	if got&0xFF_FFFF != 0xBEEF {
 		t.Fatalf("cross-core IPC word = %#x, want 0xBEEF", got&0xFF_FFFF)
 	}
+	if reply != 0x77 {
+		t.Fatalf("caller's reply = %#x, want 0x77", reply)
+	}
 	if s := k.GIC.Stats(); s.SGIsSent == 0 {
 		t.Error("cross-core wake of a higher-priority PD sent no SGI")
+	}
+	// A cross-core handoff must not count as the same-core fast path.
+	if k.IPCFastCalls() != 0 {
+		t.Errorf("cross-core call took the same-core fast path (%d)", k.IPCFastCalls())
 	}
 }
 

@@ -44,6 +44,20 @@ type VCPU struct {
 // scales with Table I's active set rather than a magic constant.
 const vcpuActiveWords = 17 /* r0-r15 + cpsr */ + 4 /* ttbr,dacr,asid,timer */
 
+// The PD's kernel descriptor also holds its capability table (the
+// per-PD window of §III-A's capability interface): 8-byte slots —
+// object pointer + rights/generation word — starting capTableOff into
+// the descriptor. The hypercall dispatcher touches the resolved slot's
+// line on every capability lookup, so cap-table state competes for
+// cache space exactly like the vCPU words above (one of Table III's
+// per-VM working-set growth mechanisms). Only the low capTableMask+1
+// selectors alias distinct modelled lines; higher selectors wrap.
+const (
+	capTableOff  = 0x200
+	capSlotBytes = 8
+	capTableMask = 63
+)
+
 // SaveActive copies the CPU's live register file into the vCPU.
 func (v *VCPU) SaveActive(c *cpu.CPU) {
 	v.Regs = c.Regs

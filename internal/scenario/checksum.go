@@ -15,6 +15,7 @@ import (
 var checksumPhases = []string{
 	measure.PhaseMgrEntry, measure.PhaseMgrExit, measure.PhaseMgrExec,
 	measure.PhasePLIRQEntry, measure.PhaseVMSwitch, measure.PhaseHypercall,
+	measure.PhaseIPCCall,
 	measure.PhaseReconfigCold, measure.PhaseReconfigWarm, measure.PhaseReconfigQWait,
 }
 

@@ -285,6 +285,13 @@ type Result struct {
 	Reconfigs    uint64 // pipeline completions
 	PrefetchHits uint64
 
+	// Capability-space traffic (aggregated over the kernel root space
+	// and every PD's table; all covered by the checksum).
+	CapLookups     uint64
+	CapDenials     uint64 // failed resolutions of any kind
+	CapDelegations uint64
+	IPCFastCalls   uint64 // same-core synchronous portal handoffs
+
 	// Detail is the exact state dump the checksum is computed over —
 	// diffing two runs' details localizes a replay divergence.
 	Detail string
@@ -320,10 +327,20 @@ func (s *System) collect() Result {
 		res.Hypercalls += pd.Hypercalls
 		res.Injected += pd.VGIC.Injected
 		res.Relatched += pd.VGIC.Relatched
-		d.addf("pd %d %s switches %d hypercalls %d faults %d injected %d relatched %d",
+		cs := pd.Space.Stats
+		d.addf("pd %d %s switches %d hypercalls %d faults %d injected %d relatched %d caps %d lookups %d denials %d",
 			pd.ID, pd.Name(), pd.Switches, pd.Hypercalls, pd.Faults,
-			pd.VGIC.Injected, pd.VGIC.Relatched)
+			pd.VGIC.Injected, pd.VGIC.Relatched,
+			pd.Space.CapCount(), cs.Lookups, cs.Denials())
 	}
+	caps := k.CapStats()
+	res.CapLookups = caps.Lookups
+	res.CapDenials = caps.Denials()
+	res.CapDelegations = caps.Delegations
+	res.IPCFastCalls = k.IPCFastCalls()
+	d.addf("capspace lookups %d hits %d badsel %d revoked %d badtype %d denied %d delegations %d revocations %d ipcfast %d",
+		caps.Lookups, caps.Hits, caps.BadSel, caps.Revoked, caps.BadType,
+		caps.Denied, caps.Delegations, caps.Revocations, k.IPCFastCalls())
 	for _, p := range s.probes {
 		res.Requests += p.requests
 		res.Busy += p.busy

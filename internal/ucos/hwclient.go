@@ -1,6 +1,7 @@
 package ucos
 
 import (
+	"repro/internal/abi"
 	"repro/internal/hwtask"
 	"repro/internal/pl"
 )
@@ -15,11 +16,11 @@ type HwTask struct {
 	doneSem *Sem
 }
 
-// Data-section reserved-structure flags (mirrors nova's; first word of
-// the section).
+// Data-section reserved-structure flags (first word of the section),
+// from the shared ABI — the kernel writes them, the guest checks them.
 const (
-	flagOwned        = 1
-	flagInconsistent = 2
+	flagOwned        = abi.DataSectFlagOwned
+	flagInconsistent = abi.DataSectFlagInconsistent
 )
 
 // AcquireHw requests taskID from the Hardware Task Manager. On a

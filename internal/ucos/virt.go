@@ -1,6 +1,7 @@
 package ucos
 
 import (
+	"repro/internal/abi"
 	"repro/internal/cpu"
 	"repro/internal/hwtask"
 	"repro/internal/nova"
@@ -60,22 +61,22 @@ func (m *VirtMachine) Now() simclock.Cycles { return m.Env.Now() }
 func (m *VirtMachine) SetIRQEntry(fn func(irq int)) { m.Env.PD.VGIC.Entry = fn }
 
 // EnableIRQ implements Machine.
-func (m *VirtMachine) EnableIRQ(irq int) { m.Env.Hypercall(nova.HcIRQEnable, uint32(irq)) }
+func (m *VirtMachine) EnableIRQ(irq int) { m.Env.Hypercall(abi.HcIRQEnable, uint32(irq)) }
 
 // DisableIRQ implements Machine.
-func (m *VirtMachine) DisableIRQ(irq int) { m.Env.Hypercall(nova.HcIRQDisable, uint32(irq)) }
+func (m *VirtMachine) DisableIRQ(irq int) { m.Env.Hypercall(abi.HcIRQDisable, uint32(irq)) }
 
 // EOI implements Machine.
-func (m *VirtMachine) EOI(irq int) { m.Env.Hypercall(nova.HcIRQEOI, uint32(irq)) }
+func (m *VirtMachine) EOI(irq int) { m.Env.Hypercall(abi.HcIRQEOI, uint32(irq)) }
 
 // SetTickTimer implements Machine: the guest timer is a virtual timer
 // allocated by Mini-NOVA (§V-A).
 func (m *VirtMachine) SetTickTimer(period simclock.Cycles) {
 	if period == 0 {
-		m.Env.Hypercall(nova.HcTimerCancel)
+		m.Env.Hypercall(abi.HcTimerCancel)
 		return
 	}
-	m.Env.Hypercall(nova.HcTimerSet, uint32(period))
+	m.Env.Hypercall(abi.HcTimerSet, uint32(period))
 }
 
 // CheckPreempt implements Machine: vIRQ delivery + hypervisor yield.
@@ -86,28 +87,28 @@ func (m *VirtMachine) Dying() <-chan struct{} { return m.Env.K.Dying() }
 
 // Idle implements Machine: paravirtualized WFI (HcSuspend mode 1).
 func (m *VirtMachine) Idle() {
-	m.Env.Hypercall(nova.HcSuspend, 1)
+	m.Env.Hypercall(abi.HcSuspend, 1)
 	m.Env.CheckPreempt()
 }
 
 // Print implements Machine (supervised UART).
 func (m *VirtMachine) Print(s string) {
 	for _, ch := range []byte(s) {
-		m.Env.Hypercall(nova.HcUARTWrite, uint32(ch))
+		m.Env.Hypercall(abi.HcUARTWrite, uint32(ch))
 	}
 }
 
 // CacheFlush implements Machine.
-func (m *VirtMachine) CacheFlush() { m.Env.Hypercall(nova.HcCacheFlush) }
+func (m *VirtMachine) CacheFlush() { m.Env.Hypercall(abi.HcCacheFlush) }
 
 // EnterUserCtx implements Machine (Table II DACR flip).
-func (m *VirtMachine) EnterUserCtx() { m.Env.Hypercall(nova.HcDACRSwitch, 0) }
+func (m *VirtMachine) EnterUserCtx() { m.Env.Hypercall(abi.HcDACRSwitch, 0) }
 
 // EnterKernelCtx implements Machine.
-func (m *VirtMachine) EnterKernelCtx() { m.Env.Hypercall(nova.HcDACRSwitch, 1) }
+func (m *VirtMachine) EnterKernelCtx() { m.Env.Hypercall(abi.HcDACRSwitch, 1) }
 
 // VMID implements Machine.
-func (m *VirtMachine) VMID() int { return int(m.Env.Hypercall(nova.HcVMID)) }
+func (m *VirtMachine) VMID() int { return int(m.Env.Hypercall(abi.HcVMID)) }
 
 // SetupDataSection implements Machine: map pages at the conventional
 // data-section VA from the tail of the VM's RAM, then register the region
@@ -116,11 +117,11 @@ func (m *VirtMachine) SetupDataSection(size uint32) (uint32, bool) {
 	size = (size + 0xFFF) &^ 0xFFF
 	va := uint32(nova.GuestDataSect)
 	for off := uint32(0); off < size; off += 0x1000 {
-		if m.Env.Hypercall(nova.HcMapPage, va+off, m.ramNext+off) != nova.StatusOK {
+		if m.Env.Hypercall(abi.HcMapPage, va+off, m.ramNext+off) != abi.StatusOK {
 			return 0, false
 		}
 	}
-	if m.Env.Hypercall(nova.HcRegionCreate, va, size) != nova.StatusOK {
+	if m.Env.Hypercall(abi.HcRegionCreate, va, size) != abi.StatusOK {
 		return 0, false
 	}
 	m.ramNext += size
@@ -133,7 +134,7 @@ func (m *VirtMachine) SetupDataSection(size uint32) (uint32, bool) {
 func (m *VirtMachine) RequestHwTask(taskID uint16) HwGrant {
 	iface := m.ifaceNext
 	m.ifaceNext += 0x1000
-	reply := m.Env.Hypercall(nova.HcHwTaskRequest, uint32(taskID), iface, m.dataVA)
+	reply := m.Env.Hypercall(abi.HcHwTaskRequest, uint32(taskID), iface, m.dataVA)
 	g := HwGrant{
 		Status:  hwtask.StatusOf(reply),
 		PRR:     hwtask.PRROf(reply),
@@ -150,12 +151,12 @@ func (m *VirtMachine) RequestHwTask(taskID uint16) HwGrant {
 
 // ReleaseHwTask implements Machine.
 func (m *VirtMachine) ReleaseHwTask(taskID uint16) {
-	m.Env.Hypercall(nova.HcHwTaskRelease, uint32(taskID))
+	m.Env.Hypercall(abi.HcHwTaskRelease, uint32(taskID))
 }
 
 // ReconfigBusy implements Machine (PCAP completion polling, §IV-E).
 func (m *VirtMachine) ReconfigBusy() bool {
-	return m.Env.Hypercall(nova.HcHwTaskStatus, 0) == nova.StatusReconfig
+	return m.Env.Hypercall(abi.HcHwTaskStatus, 0) == abi.StatusReconfig
 }
 
 // Guest adapts an OS factory to nova.Guest so a uC/OS-II instance can be
