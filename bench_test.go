@@ -7,6 +7,7 @@
 package main
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bitstream"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/physmem"
 	"repro/internal/pl"
 	"repro/internal/reconfig"
+	"repro/internal/scenario"
 	"repro/internal/simclock"
 	"repro/internal/ucos"
 )
@@ -234,7 +236,7 @@ func BenchmarkAblationHwMMU(b *testing.B) {
 			sys.Kernel.Fabric.HwMMU.Disabled = disabled
 			sys.Kernel.RunFor(simclock.FromMillis(400))
 			b.ReportMetric(sys.Kernel.Probes.Get(measure.PhaseMgrExec).MeanMicros(), "exec_us")
-			b.ReportMetric(float64(sys.Kernel.Fabric.HwMMU.Violations), "violations")
+			b.ReportMetric(float64(sys.Kernel.Fabric.HwMMU.Violations.Load()), "violations")
 			sys.Kernel.Shutdown()
 		}
 	}
@@ -318,6 +320,37 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		sys.Kernel.RunFor(simclock.FromMillis(100))
 		b.ReportMetric(float64(sys.Kernel.CPU.Stats().Instructions), "sim_instructions")
 		sys.Kernel.Shutdown()
+	}
+}
+
+// BenchmarkParallelScenario measures the epoch-barrier parallel engine on
+// the multi-core benchmark scenarios: the "seq" sub-benchmark is the
+// sequential reference loop, each "shardsN" sub-benchmark the same spec
+// on N host goroutines. The simulated result is byte-identical across all
+// of them (scenario.TestParallelInSystemMatchesSequential); ns/op is the
+// wall-clock story, and only spreads on a multi-core host.
+func BenchmarkParallelScenario(b *testing.B) {
+	for _, spec := range scenario.ParallelBenchSpecs(testing.Short()) {
+		for _, shards := range []int{0, 1, 2, 4} {
+			name := spec.Name + "/seq"
+			if shards > 0 {
+				name = fmt.Sprintf("%s/shards%d", spec.Name, shards)
+			}
+			s := spec
+			s.Shards = shards
+			b.Run(name, func(b *testing.B) {
+				var sum uint64
+				for i := 0; i < b.N; i++ {
+					r := scenario.Build(s).Run()
+					if sum == 0 {
+						sum = r.Checksum
+					} else if r.Checksum != sum {
+						b.Fatalf("checksum diverged across runs: %016x vs %016x", r.Checksum, sum)
+					}
+					b.ReportMetric(r.SimMs, "sim_ms")
+				}
+			})
+		}
 	}
 }
 

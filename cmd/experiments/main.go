@@ -13,6 +13,7 @@
 //	go run ./cmd/experiments -reconfig  # reconfiguration-pipeline sweep
 //	go run ./cmd/experiments -bench     # simulator wall-clock benchmarks -> BENCH_sim.json
 //	go run ./cmd/experiments -scenario  # multi-VM stress-scenario suite (parallel, checksummed)
+//	go run ./cmd/experiments -scenario -shards 4  # same suite on the epoch-barrier parallel engine
 //	go run ./cmd/experiments -iters 40 -guests 4
 package main
 
@@ -39,6 +40,7 @@ func main() {
 		scenName   = flag.String("scenario-name", "", "run a single named scenario instead of the whole suite")
 		scenShort  = flag.Bool("scenario-short", false, "reduced-horizon scenario run (CI smoke)")
 		scenOut    = flag.String("scenario-out", "", "also write the per-scenario checksum summary to this file")
+		shards     = flag.Int("shards", 0, "run each scenario through the epoch-barrier parallel engine on this many host goroutines (0/1 = sequential reference loop)")
 		cacheKB    = flag.Uint("cachekb", 0, "override the bitstream cache budget in KB (0 = default 1024)")
 		guests     = flag.Int("guests", 4, "maximum number of guest VMs")
 		iters      = flag.Int("iters", 24, "measured hardware-task requests per guest")
@@ -66,7 +68,10 @@ func main() {
 			}
 			specs = []scenario.Spec{spec}
 		}
-		fmt.Printf("running %d stress scenarios in parallel (short=%v)...\n", len(specs), *scenShort)
+		for i := range specs {
+			specs[i].Shards = *shards
+		}
+		fmt.Printf("running %d stress scenarios in parallel (short=%v, shards=%d)...\n", len(specs), *scenShort, *shards)
 		results := scenario.RunSuite(specs)
 		table := scenario.SummaryTable(results)
 		fmt.Println(table)

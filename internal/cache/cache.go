@@ -345,7 +345,7 @@ func NewA9Hierarchy() *Hierarchy {
 // NewA9SharedL2 returns n per-core hierarchies with private 32 KB L1s over
 // one shared 512 KB L2 — the Cortex-A9 MPCore memory system of the
 // dual-core Zynq-7000: cross-core interference shows up as L2 contention
-// while each core keeps its own L1 working set.
+// while each core keeps its own L2 working set.
 func NewA9SharedL2(n int) []*Hierarchy {
 	l2 := New("L2", 512<<10, 8)
 	hs := make([]*Hierarchy, n)
@@ -354,6 +354,29 @@ func NewA9SharedL2(n int) []*Hierarchy {
 			L1I: New("L1I", 32<<10, 4),
 			L1D: New("L1D", 32<<10, 4),
 			L2:  l2,
+		}
+	}
+	return hs
+}
+
+// NewA9WayPartitionedL2 returns n per-core hierarchies whose 512 KB L2 is
+// way-partitioned: core i owns 8/n ways of every set (the PL310's lockdown-
+// by-master configuration). Each partition keeps the full 2048 sets, so the
+// index function is unchanged and n may be 1, 2, 4 or 8. Because no line,
+// stamp or replacement-rng state is shared, a core's L2 traffic depends
+// only on its own access stream — the property the epoch-barrier parallel
+// run loop needs to let cores advance on concurrent host goroutines while
+// staying bit-deterministic.
+func NewA9WayPartitionedL2(n int) []*Hierarchy {
+	if n < 1 || 8%n != 0 {
+		panic(fmt.Sprintf("cache: cannot split 8 L2 ways across %d cores", n))
+	}
+	hs := make([]*Hierarchy, n)
+	for i := range hs {
+		hs[i] = &Hierarchy{
+			L1I: New("L1I", 32<<10, 4),
+			L1D: New("L1D", 32<<10, 4),
+			L2:  New("L2", 512<<10/n, 8/n),
 		}
 	}
 	return hs

@@ -210,6 +210,16 @@ func (c *CPU) Generation() uint64 { return c.generation }
 
 func (c *CPU) bumpGeneration() { c.generation++ }
 
+// InvalidateTLBVA flushes one page from the main TLB and forces the
+// micro-TLBs to revalidate, without charging CP15-op cost. The parallel
+// kernel performs deferred TLB maintenance at epoch barriers, where the
+// initiating core has already been charged the modeled cost and the target
+// core's clock must not move.
+func (c *CPU) InvalidateTLBVA(va uint32, asid uint8) {
+	c.TLB.FlushVA(va&^0xFFF, asid)
+	c.bumpGeneration()
+}
+
 // CP15Read performs an mrc. Reading from USR mode traps to the UND vector
 // (sensitive instruction, paper §II-A) and returns the handler-provided
 // emulation if any; unhandled traps return 0.

@@ -141,11 +141,11 @@ func (c ReconfigChecks) AllHold() bool {
 }
 
 // DefaultReconfigConfig is the sweep configuration used by
-// cmd/experiments: four guests with a short request gap, so concurrent
+// cmd/experiments: six guests with a short request gap, so concurrent
 // reconfiguration requests pile onto the single PCAP channel.
 func DefaultReconfigConfig() Config {
 	cfg := DefaultConfig()
-	cfg.Guests = 4
+	cfg.Guests = 6
 	cfg.Cores = 2
 	cfg.Iterations = 20
 	cfg.Warmup = 2

@@ -48,10 +48,39 @@ type SimBenchReport struct {
 	// Speedups maps a configuration name to batched-over-scalar
 	// sim-throughput (the acceptance metric for the batched engine).
 	Speedups map[string]float64 `json:"speedups"`
+	// ParallelSpeedups compares the epoch-barrier parallel engine
+	// (RunParallel) against the sequential run loop on multi-core
+	// scenarios — wall-clock only; the simulated results are byte-equal
+	// by contract (ChecksumMatch records the verification).
+	ParallelSpeedups []ParallelSpeedup `json:"parallel_speedup,omitempty"`
 	// IPC tracks the portal-IPC fast path from PR to PR (simulated
 	// cycles per same-core call/reply round trip).
 	IPC *IPCBenchResult `json:"ipc_portal,omitempty"`
 }
+
+// ParallelSpeedup is one scenario × shard-count comparison between the
+// sequential run loop and the epoch-barrier parallel engine.
+type ParallelSpeedup struct {
+	Scenario string `json:"scenario"`
+	Cores    int    `json:"cores"`
+	Shards   int    `json:"shards"`
+	// SeqHostMs/ParHostMs are best-of-reps wall times for the same spec.
+	SeqHostMs float64 `json:"seq_host_ms"`
+	ParHostMs float64 `json:"par_host_ms"`
+	Speedup   float64 `json:"speedup"`
+	// ChecksumMatch verifies the runs produced byte-identical state
+	// checksums — a false here is a determinism bug, not a perf result.
+	ChecksumMatch bool `json:"checksum_match"`
+}
+
+// parallelBench is wired by the scenario package (which sits above this
+// one in the import graph) through RegisterParallelBench; nil when the
+// binary does not link the scenario harness.
+var parallelBench func(short bool) []ParallelSpeedup
+
+// RegisterParallelBench installs the scenario-suite parallel-speedup
+// measurement used by RunSimBench.
+func RegisterParallelBench(f func(short bool) []ParallelSpeedup) { parallelBench = f }
 
 // IPCBenchResult measures the portal call/reply round trip: a client PD
 // calls a server PD on the same core, the server answers with the
@@ -190,7 +219,7 @@ func RunSimBench(short bool) SimBenchReport {
 		{"reconfig_4vm_2core", DefaultReconfigConfig()},
 	}
 	rep := SimBenchReport{
-		Schema:    2,
+		Schema:    3,
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Short:     short,
@@ -210,6 +239,9 @@ func RunSimBench(short bool) SimBenchReport {
 	}
 	ipc := MeasureIPCPortal(ipcRounds)
 	rep.IPC = &ipc
+	if parallelBench != nil {
+		rep.ParallelSpeedups = parallelBench(short)
+	}
 	return rep
 }
 
@@ -237,6 +269,14 @@ func (r SimBenchReport) String() string {
 	}
 	for name, s := range r.Speedups {
 		fmt.Fprintf(&b, "speedup %-22s %.2fx (batched vs scalar)\n", name, s)
+	}
+	for _, p := range r.ParallelSpeedups {
+		ok := "checksums match"
+		if !p.ChecksumMatch {
+			ok = "CHECKSUM MISMATCH"
+		}
+		fmt.Fprintf(&b, "parallel %-20s cores=%d shards=%d %.2fx (seq %.0f ms, par %.0f ms, %s)\n",
+			p.Scenario, p.Cores, p.Shards, p.Speedup, p.SeqHostMs, p.ParHostMs, ok)
 	}
 	if r.IPC != nil {
 		fmt.Fprintf(&b, "ipc_portal %d rounds: %.0f sim_cycles/rt (%.2f us), %.0f host_ns/rt, fastpath %.0f%%\n",

@@ -71,16 +71,22 @@ type GIC struct {
 	priorityMask []uint8
 	ctrlEnabled  bool
 
-	// npending counts latched pending sources across all banks, so the
-	// nIRQ sample the CPU takes at every instruction boundary
-	// (PendingDeliverable) is O(1) in the common nothing-pending case.
-	npending int
+	// npending counts latched pending sources per CPU interface (an SPI
+	// counts against its target), so the nIRQ sample the CPU takes at
+	// every instruction boundary (PendingDeliverable) is O(1) in the
+	// common nothing-pending case. Sharding the counter per interface
+	// keeps each simulated core's hot path on its own cache line when
+	// cores run on concurrent host goroutines.
+	npending []int
 
 	// Signal is invoked on the rising edge of "an enabled interrupt is
 	// pending and not masked" for a CPU — the nIRQ wire to that core.
 	Signal func(cpu int)
 
-	stats Stats
+	// stats is sharded per CPU interface for the same reason as npending:
+	// an event is always counted on the goroutine of the interface it is
+	// delivered to, so no two cores write the same bucket. Stats() sums.
+	stats []Stats
 }
 
 // Stats counts distributor events.
@@ -107,6 +113,8 @@ func NewMP(ncpu int) *GIC {
 		banked:       make([][PrivateBase]irqState, ncpu),
 		priorityMask: make([]uint8, ncpu),
 		ctrlEnabled:  true,
+		npending:     make([]int, ncpu),
+		stats:        make([]Stats, ncpu),
 	}
 	for i := range g.shared {
 		g.shared[i].priority = 0xA0
@@ -159,6 +167,20 @@ func (g *GIC) Enable(id int) {
 	g.maybeSignal(g.target[id])
 }
 
+// EnableOn unmasks a banked (SGI/PPI) source on one CPU's bank only — the
+// form a core must use from its own context when cores run concurrently,
+// so it never writes a peer's bank. SPIs fall back to Enable.
+func (g *GIC) EnableOn(cpu, id int) {
+	g.check(id)
+	g.checkCPU(cpu)
+	if id >= PrivateBase {
+		g.Enable(id)
+		return
+	}
+	g.banked[cpu][id].enabled = true
+	g.maybeSignal(cpu)
+}
+
 // Disable masks one interrupt source (all banks for banked ids). A
 // pending interrupt stays latched (as on hardware) and fires when
 // re-enabled.
@@ -171,6 +193,17 @@ func (g *GIC) Disable(id int) {
 		return
 	}
 	g.shared[id].enabled = false
+}
+
+// DisableOn masks a banked source on one CPU's bank only (see EnableOn).
+func (g *GIC) DisableOn(cpu, id int) {
+	g.check(id)
+	g.checkCPU(cpu)
+	if id >= PrivateBase {
+		g.Disable(id)
+		return
+	}
+	g.banked[cpu][id].enabled = false
 }
 
 // IsEnabled reports the distributor enable bit for id (bank 0 for banked
@@ -215,12 +248,17 @@ func (g *GIC) SetPriorityMask(cpu int, m uint8) {
 }
 
 // SetTarget routes an SPI to one CPU interface (GICD_ITARGETSR). Banked
-// ids have no target; calls for them are rejected.
+// ids have no target; calls for them are rejected. A latched pending
+// state migrates with the line: it counts against the new target.
 func (g *GIC) SetTarget(id, cpu int) {
 	g.check(id)
 	g.checkCPU(cpu)
 	if id < PrivateBase {
 		panic(fmt.Sprintf("gic: interrupt %d is banked, it has no target", id))
+	}
+	if old := g.target[id]; old != cpu && g.shared[id].pending {
+		g.npending[old]--
+		g.npending[cpu]++
 	}
 	g.target[id] = cpu
 	g.maybeSignal(cpu)
@@ -244,8 +282,8 @@ func (g *GIC) Raise(id int) {
 		g.RaiseOn(0, id)
 		return
 	}
-	g.stats.Raised++
-	g.setPending(&g.shared[id], true)
+	g.stats[g.target[id]].Raised++
+	g.setPending(g.target[id], &g.shared[id], true)
 	g.maybeSignal(g.target[id])
 }
 
@@ -259,8 +297,8 @@ func (g *GIC) RaiseOn(cpu, id int) {
 		g.Raise(id)
 		return
 	}
-	g.stats.Raised++
-	g.setPending(&g.banked[cpu][id], true)
+	g.stats[cpu].Raised++
+	g.setPending(cpu, &g.banked[cpu][id], true)
 	g.maybeSignal(cpu)
 }
 
@@ -272,8 +310,8 @@ func (g *GIC) RaiseSGI(target, id int) {
 		panic(fmt.Sprintf("gic: SGI id %d out of range", id))
 	}
 	g.checkCPU(target)
-	g.stats.SGIsSent++
-	g.setPending(&g.banked[target][id], true)
+	g.stats[target].SGIsSent++
+	g.setPending(target, &g.banked[target][id], true)
 	g.maybeSignal(target)
 }
 
@@ -284,21 +322,22 @@ func (g *GIC) ClearPending(id int) {
 	g.check(id)
 	if id < PrivateBase {
 		for c := 0; c < g.ncpu; c++ {
-			g.setPending(&g.banked[c][id], false)
+			g.setPending(c, &g.banked[c][id], false)
 		}
 		return
 	}
-	g.setPending(&g.shared[id], false)
+	g.setPending(g.target[id], &g.shared[id], false)
 }
 
-// setPending flips one source's pending latch, keeping the global count
-// coherent. Every mutation of irqState.pending must go through it.
-func (g *GIC) setPending(s *irqState, v bool) {
+// setPending flips one source's pending latch, keeping the per-interface
+// count coherent (cpu is the interface the source delivers to). Every
+// mutation of irqState.pending must go through it.
+func (g *GIC) setPending(cpu int, s *irqState, v bool) {
 	if s.pending != v {
 		if v {
-			g.npending++
+			g.npending[cpu]++
 		} else {
-			g.npending--
+			g.npending[cpu]--
 		}
 		s.pending = v
 	}
@@ -338,7 +377,7 @@ func (g *GIC) highestPending(cpu int) int {
 // pair of compares.
 func (g *GIC) PendingDeliverable(cpu int) bool {
 	g.checkCPU(cpu)
-	if g.npending == 0 {
+	if g.npending[cpu] == 0 {
 		return false
 	}
 	return g.ctrlEnabled && g.highestPending(cpu) >= 0
@@ -358,13 +397,13 @@ func (g *GIC) Acknowledge(cpu int) int {
 	g.checkCPU(cpu)
 	id := g.highestPending(cpu)
 	if id < 0 {
-		g.stats.Spurious++
+		g.stats[cpu].Spurious++
 		return SpuriousID
 	}
 	s := g.state(cpu, id)
-	g.setPending(s, false)
+	g.setPending(cpu, s, false)
 	s.active = true
-	g.stats.Acknowledged++
+	g.stats[cpu].Acknowledged++
 	return id
 }
 
@@ -378,12 +417,22 @@ func (g *GIC) EOI(cpu, id int) {
 		return // stray EOI is ignored, as on hardware in EOImode 0
 	}
 	s.active = false
-	g.stats.Completed++
+	g.stats[cpu].Completed++
 	g.maybeSignal(cpu)
 }
 
-// Stats returns a copy of the counters.
-func (g *GIC) Stats() Stats { return g.stats }
+// Stats returns the counters summed across every CPU interface.
+func (g *GIC) Stats() Stats {
+	var total Stats
+	for i := range g.stats {
+		total.Raised += g.stats[i].Raised
+		total.SGIsSent += g.stats[i].SGIsSent
+		total.Acknowledged += g.stats[i].Acknowledged
+		total.Completed += g.stats[i].Completed
+		total.Spurious += g.stats[i].Spurious
+	}
+	return total
+}
 
 // EnabledSet snapshots the distributor enable bits as seen by cpu 0 (used
 // by the VM switch path to mask/unmask per-VM interrupt sets; §III-B).

@@ -78,11 +78,10 @@ type portalActions struct {
 }
 
 func (a *portalActions) PRRBusy(prr int) bool {
-	k := a.env.K
-	if k.Fabric == nil {
-		return false
-	}
-	return k.Fabric.Busy(prr)
+	// Epoch-snapshot read: on a multi-core machine the run/done bits flip
+	// on client-core clocks, so the kernel answers from the last barrier's
+	// snapshot instead of the live fabric state.
+	return a.env.K.PRRBusy(prr)
 }
 
 func (a *portalActions) Reclaim(clientID, prr int) {

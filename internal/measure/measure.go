@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/simclock"
 )
@@ -90,7 +91,14 @@ func (p *Probe) Samples() []simclock.Cycles {
 // Set is a collection of named probes plus scalar counters (unitless
 // statistics such as cache hit counts and queue depths that sweeps report
 // alongside the latency probes).
+//
+// Set.Add and the counter mutators are safe to call from concurrent core
+// goroutines during a parallel run: the probe aggregates (Count, Total,
+// Min, Max) are commutative, so the final values are independent of host
+// interleaving. Reading a *Probe returned by Get is only safe once the run
+// has quiesced (the reporting paths all run after Run/RunParallel return).
 type Set struct {
+	mu       sync.Mutex
 	probes   map[string]*Probe
 	counters map[string]float64
 }
@@ -102,6 +110,12 @@ func NewSet() *Set {
 
 // Get returns (creating if needed) the named probe.
 func (s *Set) Get(name string) *Probe {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.get(name)
+}
+
+func (s *Set) get(name string) *Probe {
 	p, ok := s.probes[name]
 	if !ok {
 		p = &Probe{}
@@ -111,19 +125,37 @@ func (s *Set) Get(name string) *Probe {
 }
 
 // Add records a sample on the named probe.
-func (s *Set) Add(name string, d simclock.Cycles) { s.Get(name).Add(d) }
+func (s *Set) Add(name string, d simclock.Cycles) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.get(name).Add(d)
+}
 
 // SetCounter stores a scalar statistic under name.
-func (s *Set) SetCounter(name string, v float64) { s.counters[name] = v }
+func (s *Set) SetCounter(name string, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters[name] = v
+}
 
 // AddCounter accumulates delta into the named counter.
-func (s *Set) AddCounter(name string, delta float64) { s.counters[name] += delta }
+func (s *Set) AddCounter(name string, delta float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters[name] += delta
+}
 
 // Counter returns the named counter (0 when unset).
-func (s *Set) Counter(name string) float64 { return s.counters[name] }
+func (s *Set) Counter(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
 
 // CounterNames lists counters in sorted order.
 func (s *Set) CounterNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.counters))
 	for n := range s.counters {
 		out = append(out, n)
@@ -135,6 +167,8 @@ func (s *Set) CounterNames() []string {
 // Reset clears all samples and counters but keeps the probe names and
 // their sample-retention settings.
 func (s *Set) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, p := range s.probes {
 		*p = Probe{Keep: p.Keep}
 	}
@@ -145,6 +179,8 @@ func (s *Set) Reset() {
 
 // Names lists probes in sorted order.
 func (s *Set) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.probes))
 	for n := range s.probes {
 		out = append(out, n)

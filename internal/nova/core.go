@@ -18,6 +18,11 @@ type CoreCtx struct {
 	CPU   *cpu.CPU
 	Timer *timer.PrivateTimer
 
+	// Clock is this core's time cursor. Core 0's clock is the kernel's
+	// Clock; on a multi-core machine the other cores advance their own
+	// cursors independently between epoch barriers.
+	Clock *simclock.Clock
+
 	// Current is the PD whose context is live on this core. It stays
 	// resident across the interleaved run loop's window boundaries —
 	// a core that keeps running the same PD never re-pays the switch.
@@ -36,6 +41,16 @@ type CoreCtx struct {
 	// unit (lazy switch state, Table I) — per-core, as on silicon.
 	vfpOwner *PD
 
+	// yieldCh is the coroutine handoff between this core's kernel loop
+	// and the PD goroutine it activated — per-core, so concurrent cores
+	// hand off independently.
+	yieldCh chan yieldReason
+
+	// ipcFastCalls counts same-core synchronous portal-call handoffs
+	// taken on this core (sharded so concurrent cores never share the
+	// counter; Kernel.IPCFastCalls sums).
+	ipcFastCalls uint64
+
 	// BusyCycles accumulates simulated time this core spent executing
 	// PDs; everything else is idle. Utilization derives from it.
 	BusyCycles simclock.Cycles
@@ -50,23 +65,12 @@ func (c *CoreCtx) Utilization(now simclock.Cycles) float64 {
 	return float64(c.BusyCycles) / float64(now)
 }
 
-// runCore gives core c one scheduling window: deliver latched cross-core
-// signals, pick from c's runqueue, switch in, and let the PD run until it
-// yields (quantum expiry, block, horizon, or a reschedule kick). Reports
-// whether the core found anything to run.
+// runCore gives core c one scheduling window: pick from c's runqueue,
+// switch in, and let the PD run until it yields (quantum expiry, block,
+// horizon, or a reschedule kick). Reports whether the core found anything
+// to run. This is the single-core reference loop's window; multi-core
+// machines run epochs (runCoreEpoch).
 func (k *Kernel) runCore(c *CoreCtx, until simclock.Cycles) bool {
-	k.active = c
-	defer func() { k.active = nil }()
-
-	if len(k.Cores) > 1 {
-		// Window boundary: drain interrupts latched while the core was
-		// off-window (reschedule SGIs, retargeted SPIs) so the pick below
-		// sees their effects.
-		c.CPU.IRQMasked = false
-		c.CPU.PollIRQ()
-		c.CPU.IRQMasked = true
-	}
-
 	var pd *PD
 	for {
 		n := k.Sched.Pick(c.ID)
@@ -82,9 +86,8 @@ func (k *Kernel) runCore(c *CoreCtx, until simclock.Cycles) bool {
 
 	k.worldSwitch(c, pd)
 	// Complete the Table III "HW Manager exit" probe on the activation
-	// that resumes a guest. On a single core this instant coincides with
-	// the world switch away from the service; on SMP the guest's core may
-	// never have switched at all (the service ran on its own core).
+	// that resumes a guest: on a single core this instant coincides with
+	// the world switch away from the service.
 	if k.mgrExitArmed && pd != k.hwSvc {
 		k.Probes.Add(measure.PhaseMgrExit, k.Clock.Now()-k.mgrExitFrom)
 		k.mgrExitArmed = false
@@ -96,16 +99,8 @@ func (k *Kernel) runCore(c *CoreCtx, until simclock.Cycles) bool {
 	}
 	c.Timer.Start(pd.VCPU.QuantumLeft, true)
 
-	// Bound the activation by the caller's horizon — and, on SMP, by the
-	// interleave window that keeps the cores advancing together on the
-	// shared clock.
-	horizon := until
-	if len(k.Cores) > 1 && k.SMPSlice > 0 {
-		if w := k.Clock.Now() + k.SMPSlice; w < horizon {
-			horizon = w
-		}
-	}
-	stop := k.Clock.At(horizon, func(simclock.Cycles) { c.needResched = true })
+	// Bound the activation by the caller's horizon.
+	stop := k.Clock.At(until, func(simclock.Cycles) { c.needResched = true })
 
 	start := k.Clock.Now()
 	c.CPU.Mode, c.CPU.IRQMasked = cpu.ModeUSR, false
@@ -133,7 +128,7 @@ func (k *Kernel) runCore(c *CoreCtx, until simclock.Cycles) bool {
 // activate hands core c to pd and waits for the PD to yield.
 func (k *Kernel) activate(c *CoreCtx, pd *PD) yieldReason {
 	pd.resumeCh <- resumeCmd{}
-	r := <-k.yieldCh
+	r := <-c.yieldCh
 	// Kernel loop regains the core in SVC, IRQs masked.
 	c.CPU.Mode, c.CPU.IRQMasked = cpu.ModeSVC, true
 	return r

@@ -69,7 +69,7 @@ const CostIPCFastPath = 120
 // privileged side door: manager portals differ from guest calls only in
 // which tables hold capabilities to them.
 func (k *Kernel) onSWI(c *CoreCtx, sel int, args [4]uint32) uint32 {
-	t0 := k.Clock.Now()
+	t0 := c.Clock.Now()
 	pd := c.Current
 	if pd == nil {
 		return StatusErr
@@ -95,7 +95,7 @@ func (k *Kernel) onSWI(c *CoreCtx, sel int, args [4]uint32) uint32 {
 		c.kctx.Exec(p.cost)
 		ret = p.fn(k, c, pd, args)
 	}
-	k.Probes.Add(measure.PhaseHypercall, k.Clock.Now()-t0)
+	k.Probes.Add(measure.PhaseHypercall, c.Clock.Now()-t0)
 	return ret
 }
 
@@ -120,43 +120,34 @@ func (k *Kernel) hcTimerSet(pd *PD, period simclock.Cycles) uint32 {
 // hcMapPage inserts va -> RAMBase+offset into the caller's own table —
 // "memory management: mapping inserting, guest page table creation"
 // (§III-A). Guests may only map their own RAM below the kernel split.
-func (k *Kernel) hcMapPage(pd *PD, va, offset uint32) uint32 {
+func (k *Kernel) hcMapPage(c *CoreCtx, pd *PD, va, offset uint32) uint32 {
 	if va&0xFFF != 0 || offset&0xFFF != 0 || offset >= pd.RAMSize || va >= KernelCodeVA-0x1000_0000 {
 		return StatusInval
 	}
 	pd.Table.MapPage(va, pd.RAMBase+physmem.Addr(offset), DomainGuestUser, mmu.APFull)
-	k.chargePTEdit(pd, va)
+	k.chargePTEdit(c, pd, va)
 	pd.Core.CPU.CP15Write(cpu.CP15TLBIMVA, va)
 	return StatusOK
 }
 
-func (k *Kernel) hcUnmapPage(pd *PD, va uint32) uint32 {
+func (k *Kernel) hcUnmapPage(c *CoreCtx, pd *PD, va uint32) uint32 {
 	if va >= KernelCodeVA-0x1000_0000 {
 		return StatusInval
 	}
 	pd.Table.UnmapPage(va)
-	k.chargePTEdit(pd, va)
+	k.chargePTEdit(c, pd, va)
 	pd.Core.CPU.CP15Write(cpu.CP15TLBIMVA, va)
 	return StatusOK
 }
 
-// chargePTEdit charges the descriptor traffic of a page-table update —
-// the cost the paper attributes to the virtualized manager ("switching to
-// the kernel space to update the target VM's page table").
-func (k *Kernel) chargePTEdit(pd *PD, va uint32) {
-	kctx := k.editCtx()
+// chargePTEdit charges the descriptor traffic of a page-table update on
+// the core performing it — the cost the paper attributes to the
+// virtualized manager ("switching to the kernel space to update the
+// target VM's page table").
+func (k *Kernel) chargePTEdit(c *CoreCtx, pd *PD, va uint32) {
 	for range pd.Table.DescriptorAddrs(va) {
-		kctx.Touch(0xF020_0000+(va>>12&0x3FF)*4, true)
+		c.kctx.Touch(0xF020_0000+(va>>12&0x3FF)*4, true)
 	}
-}
-
-// editCtx returns the kernel execution context of the core the kernel is
-// executing on right now (core 0 outside any scheduling window).
-func (k *Kernel) editCtx() *cpu.ExecContext {
-	if k.active != nil {
-		return k.active.kctx
-	}
-	return k.Cores[0].kctx
 }
 
 // hcRegionCreate registers [va, va+size) as the caller's hardware-task
@@ -198,7 +189,7 @@ func (k *Kernel) hcRegionCreate(pd *PD, va, size uint32) uint32 {
 // created with a higher priority level than general guests, so that this
 // service can preempt guests and execute immediately once it is invoked"
 // (§IV-E).
-func (k *Kernel) hcHwTaskRequest(pd *PD, kind HwRequestKind, args [4]uint32) uint32 {
+func (k *Kernel) hcHwTaskRequest(c *CoreCtx, pd *PD, kind HwRequestKind, args [4]uint32) uint32 {
 	if k.hwSvc == nil || k.Fabric == nil {
 		return StatusErr
 	}
@@ -207,31 +198,69 @@ func (k *Kernel) hcHwTaskRequest(pd *PD, kind HwRequestKind, args [4]uint32) uin
 			return StatusInval // must register a data section first
 		}
 	}
-	k.nextReqID++
+	if len(k.Cores) == 1 || pd.Core == k.hwSvc.Core {
+		// Same-core request: the queue lives on the manager's core, so the
+		// caller may mutate it directly.
+		k.nextReqID++
+		req := &HwRequest{
+			ID:      k.nextReqID,
+			Kind:    kind,
+			PD:      pd,
+			TaskID:  uint16(args[0]),
+			IfaceVA: args[1],
+			DataVA:  args[2],
+		}
+		k.hwQueue = append(k.hwQueue, req)
+		k.hwByID[req.ID] = req
+		c.kctx.Touch(KernelDataVA+0x9000+(req.ID%64)*16, true) // queue slot
+
+		// Arm the Table III "HW Manager entry" probe: from this hypercall
+		// (exception entry) to the manager fetching the request. When several
+		// requests queue (only possible if the service is not strictly above
+		// guest priority), the oldest one defines the entry latency.
+		if !k.mgrEntryArmed {
+			k.mgrEntryFrom = c.Clock.Now() - cpu.CostExceptionEntry
+			k.mgrEntryArmed = true
+		}
+
+		k.wake(k.hwSvc)
+		pd.Env.block() // resumes when the manager calls HcMgrComplete
+		delete(k.hwByID, req.ID)
+		return req.reply
+	}
+
+	// Cross-core request: the queue and its probes belong to the manager's
+	// core. Charge the doorbell write and enqueue at the barrier, where the
+	// committer orders concurrent callers by (cycle, core, seq) — the
+	// request ID itself is drawn inside the commit so IDs are issued in
+	// deterministic order. The entry probe stamps the commit on the
+	// manager core's clock: on separate clock domains it measures the
+	// manager-side dispatch (signal to fetch) — the quantity the dedicated
+	// core shrinks — not the epoch-barrier doorbell lag, which is the
+	// engine's conservative lookahead rather than a kernel cost.
 	req := &HwRequest{
-		ID:      k.nextReqID,
 		Kind:    kind,
 		PD:      pd,
 		TaskID:  uint16(args[0]),
 		IfaceVA: args[1],
 		DataVA:  args[2],
 	}
-	k.hwQueue = append(k.hwQueue, req)
-	k.hwByID[req.ID] = req
-	k.editCtx().Touch(KernelDataVA+0x9000+(req.ID%64)*16, true) // queue slot
-
-	// Arm the Table III "HW Manager entry" probe: from this hypercall
-	// (exception entry) to the manager fetching the request. When several
-	// requests queue (only possible if the service is not strictly above
-	// guest priority), the oldest one defines the entry latency.
-	if !k.mgrEntryArmed {
-		k.mgrEntryFrom = k.Clock.Now() - cpu.CostExceptionEntry
-		k.mgrEntryArmed = true
-	}
-
-	k.wake(k.hwSvc)
+	c.Clock.Advance(CostDeviceAccess)
+	k.post(c, func() {
+		k.nextReqID++
+		req.ID = k.nextReqID
+		k.hwQueue = append(k.hwQueue, req)
+		k.hwByID[req.ID] = req
+		if !k.mgrEntryArmed {
+			k.mgrEntryFrom = k.hwSvc.Core.Clock.Now()
+			k.mgrEntryArmed = true
+		}
+		k.wake(k.hwSvc)
+	})
 	pd.Env.block() // resumes when the manager calls HcMgrComplete
-	delete(k.hwByID, req.ID)
+	// The manager is done with the descriptor by the time the completion
+	// wake reaches us; retire the ID at the next barrier (IDs never reuse).
+	k.post(c, func() { delete(k.hwByID, req.ID) })
 	return req.reply
 }
 
@@ -239,15 +268,33 @@ func (k *Kernel) hcHwTaskRequest(pd *PD, kind HwRequestKind, args [4]uint32) uin
 // completion signal", §IV-E) or a held task's state. With the pipeline a
 // reconfiguration is "in flight" through its whole journey: SD fill,
 // request queue, and PCAP download.
-func (k *Kernel) hcHwTaskStatus(pd *PD, _ uint32) uint32 {
-	k.Clock.Advance(CostDeviceAccess)
+func (k *Kernel) hcHwTaskStatus(c *CoreCtx, pd *PD, _ uint32) uint32 {
+	c.Clock.Advance(CostDeviceAccess)
 	if k.Fabric == nil {
 		return StatusErr
 	}
-	if k.Reconfig != nil && k.Reconfig.PendingFor(pd) {
-		return StatusReconfig
+	if k.Reconfig == nil {
+		return StatusOK
 	}
-	return StatusOK
+	if len(k.Cores) == 1 || pd.Core == k.reconfigCore() {
+		if k.Reconfig.PendingFor(pd) {
+			return StatusReconfig
+		}
+		return StatusOK
+	}
+	// Cross-core poll: the pipeline's state advances on the manager core's
+	// clock; sample it at the barrier and resume the poller with the
+	// answer. The one-epoch sampling lag is the conservative lookahead the
+	// engine grants every cross-core interaction.
+	var status uint32 = StatusOK
+	k.post(c, func() {
+		if k.Reconfig.PendingFor(pd) {
+			status = StatusReconfig
+		}
+		k.wake(pd)
+	})
+	pd.Env.block()
+	return status
 }
 
 // --- Portal IPC (call/reply through PD-object capabilities) ----------
@@ -267,20 +314,41 @@ func (k *Kernel) hcPortalCall(c *CoreCtx, pd *PD, sel int, word uint32) uint32 {
 	if to == pd || to.dead {
 		return StatusInval
 	}
-	t0 := k.Clock.Now()
+	t0 := c.Clock.Now()
 	pd.ipcWord = word
-	to.ipcCallers = append(to.ipcCallers, pd)
-	k.editCtx().Touch(to.kdata+0x80, true) // callee endpoint state
-	if to.recvBlocked {
-		to.recvBlocked = false
-		if to.Core == pd.Core {
-			c.kctx.Exec(CostIPCFastPath)
-			k.ipcFastCalls++
+	if len(k.Cores) == 1 || to.Core == pd.Core {
+		to.ipcCallers = append(to.ipcCallers, pd)
+		c.kctx.Touch(to.kdata+0x80, true) // callee endpoint state
+		if to.recvBlocked {
+			to.recvBlocked = false
+			if to.Core == pd.Core {
+				c.kctx.Exec(CostIPCFastPath)
+				c.ipcFastCalls++
+			}
+			k.wake(to)
 		}
-		k.wake(to)
+	} else {
+		// Cross-core call: the callee's endpoint state belongs to its own
+		// core; charge the doorbell here and queue the caller at the
+		// barrier. The callee may have died in this epoch — fail the call
+		// at commit rather than strand the caller on a dead endpoint.
+		c.kctx.Touch(to.kdata+0x80, true)
+		c.Clock.Advance(CostDeviceAccess)
+		k.post(c, func() {
+			if to.dead {
+				pd.ipcReply = StatusErr
+				k.wake(pd)
+				return
+			}
+			to.ipcCallers = append(to.ipcCallers, pd)
+			if to.recvBlocked {
+				to.recvBlocked = false
+				k.wake(to)
+			}
+		})
 	}
 	pd.Env.block() // resumes when the callee replies
-	k.Probes.Add(measure.PhaseIPCCall, k.Clock.Now()-t0)
+	k.Probes.Add(measure.PhaseIPCCall, since(c.Clock.Now(), t0))
 	return pd.ipcReply
 }
 
@@ -292,16 +360,16 @@ func (k *Kernel) hcPortalCall(c *CoreCtx, pd *PD, sel int, word uint32) uint32 {
 // current caller before receiving the next one; receiving again with an
 // un-replied caller outstanding is refused (StatusInval) rather than
 // silently stranding the blocked caller.
-func (k *Kernel) hcPortalRecv(pd *PD, mode, reply uint32) uint32 {
+func (k *Kernel) hcPortalRecv(c *CoreCtx, pd *PD, mode, reply uint32) uint32 {
 	if mode&abi.RecvReply != 0 {
 		caller := pd.replyTo
 		if caller == nil {
 			return StatusInval
 		}
 		pd.replyTo = nil
-		caller.ipcReply = reply
-		k.editCtx().Touch(caller.kdata+0x80, true)
-		k.wake(caller)
+		caller.ipcReply = reply // caller is parked; the wake publishes it
+		c.kctx.Touch(caller.kdata+0x80, true)
+		k.wakeFrom(c, caller)
 	} else if pd.replyTo != nil {
 		return StatusInval
 	}
@@ -315,7 +383,7 @@ func (k *Kernel) hcPortalRecv(pd *PD, mode, reply uint32) uint32 {
 	caller := pd.ipcCallers[0]
 	pd.ipcCallers = pd.ipcCallers[1:]
 	pd.replyTo = caller
-	k.editCtx().Touch(pd.kdata+0x80, false)
+	c.kctx.Touch(pd.kdata+0x80, false)
 	return uint32(caller.ID)<<24 | caller.ipcWord&0xFF_FFFF
 }
 
@@ -326,33 +394,37 @@ func (k *Kernel) hcPortalRecv(pd *PD, mode, reply uint32) uint32 {
 func (k *Kernel) failPortalCallers(pd *PD) {
 	for _, caller := range pd.ipcCallers {
 		caller.ipcReply = StatusErr
-		k.wake(caller)
+		k.wakeFrom(pd.Core, caller)
 	}
 	pd.ipcCallers = nil
 	if caller := pd.replyTo; caller != nil {
 		pd.replyTo = nil
 		caller.ipcReply = StatusErr
-		k.wake(caller)
+		k.wakeFrom(pd.Core, caller)
 	}
 }
 
 // hcSD copies one 512-byte block between the simulated SD card and the
 // caller's RAM (supervised shared I/O, §V-A).
-func (k *Kernel) hcSD(pd *PD, block, ramOffset uint32, write bool) uint32 {
+func (k *Kernel) hcSD(c *CoreCtx, pd *PD, block, ramOffset uint32, write bool) uint32 {
 	if ramOffset+512 > pd.RAMSize {
 		return StatusInval
 	}
 	pa := pd.RAMBase + physmem.Addr(ramOffset)
-	k.Clock.Advance(simclock.Cycles(512 / 4 * 2)) // DMA-ish block move
+	c.Clock.Advance(simclock.Cycles(512 / 4 * 2)) // DMA-ish block move
 	if write {
 		data, err := k.Bus.ReadBytes(pa, 512)
 		if err != nil {
 			return StatusErr
 		}
+		k.sdMu.Lock()
 		k.sd[block] = data
+		k.sdMu.Unlock()
 		return StatusOK
 	}
+	k.sdMu.Lock()
 	data, ok := k.sd[block]
+	k.sdMu.Unlock()
 	if !ok {
 		data = make([]byte, 512)
 	}
@@ -373,20 +445,27 @@ func (k *Kernel) hcSD(pd *PD, block, ramOffset uint32, write bool) uint32 {
 // suspends itself) while the queue is empty. Completing the entry probe
 // here captures hypercall + wakeup + world switch, the paper's "HW
 // Manager entry".
-func (k *Kernel) mgrNextRequest(pd *PD) uint32 {
+func (k *Kernel) mgrNextRequest(c *CoreCtx, pd *PD) uint32 {
 	for len(k.hwQueue) == 0 {
+		// On a multi-core machine the manager usually owns its core: the
+		// "exit" ends here, when the service removes itself from the run
+		// queue — there is no guest to switch to on a dedicated core.
+		if len(k.Cores) > 1 && k.mgrExitArmed {
+			k.Probes.Add(measure.PhaseMgrExit, since(c.Clock.Now(), k.mgrExitFrom))
+			k.mgrExitArmed = false
+		}
 		pd.Env.block()
 	}
 	req := k.hwQueue[0]
 	k.hwQueue = k.hwQueue[1:]
-	k.editCtx().Touch(KernelDataVA+0x9000+(req.ID%64)*16, false)
+	c.kctx.Touch(KernelDataVA+0x9000+(req.ID%64)*16, false)
 	if k.mgrEntryArmed {
-		k.Probes.Add(measure.PhaseMgrEntry, k.Clock.Now()-k.mgrEntryFrom)
+		k.Probes.Add(measure.PhaseMgrEntry, since(c.Clock.Now(), k.mgrEntryFrom))
 		k.mgrEntryArmed = false
 	}
 	// Manager execution starts when it receives the request (Table III's
 	// "HW Manager execution" row).
-	k.mgrExecFrom = k.Clock.Now()
+	k.mgrExecFrom = c.Clock.Now()
 	k.mgrExecArmed = true
 	return req.ID
 }
@@ -396,7 +475,7 @@ func (k *Kernel) mgrNextRequest(pd *PD) uint32 {
 // processing the request, the manager service will remove itself from the
 // running queue list, resuming the interrupted guest OS with a return
 // status"). Returns the next request ID when re-invoked.
-func (k *Kernel) mgrComplete(pd *PD, reqID, status uint32) uint32 {
+func (k *Kernel) mgrComplete(c *CoreCtx, pd *PD, reqID, status uint32) uint32 {
 	req, ok := k.hwByID[reqID]
 	if !ok {
 		return StatusInval
@@ -404,15 +483,32 @@ func (k *Kernel) mgrComplete(pd *PD, reqID, status uint32) uint32 {
 	req.reply = status
 	req.replied = true
 	if k.mgrExecArmed {
-		k.Probes.Add(measure.PhaseMgrExec, k.Clock.Now()-k.mgrExecFrom)
+		k.Probes.Add(measure.PhaseMgrExec, c.Clock.Now()-k.mgrExecFrom)
 		k.mgrExecArmed = false
 	}
-	k.wake(req.PD)
-	// Arm the "HW Manager exit" probe: from here to the world switch that
-	// resumes a guest.
-	k.mgrExitFrom = k.Clock.Now()
-	k.mgrExitArmed = true
-	return k.mgrNextRequest(pd)
+	target := req.PD
+	switch {
+	case len(k.Cores) == 1:
+		k.wake(target)
+		// Arm the "HW Manager exit" probe: from here to the world switch
+		// that resumes a guest.
+		k.mgrExitFrom = k.Clock.Now()
+		k.mgrExitArmed = true
+	case target.Core == c:
+		k.wake(target)
+		k.mgrExitFrom = c.Clock.Now()
+		k.mgrExitArmed = true
+	default:
+		// Cross-core completion: the reply is published by the barrier
+		// that wakes the requester. The exit probe stays on the manager's
+		// core — it measures the manager leaving the CPU (self-suspend or
+		// switch to a guest), not the client's scheduling latency.
+		c.Clock.Advance(CostDeviceAccess)
+		k.post(c, func() { k.wake(target) })
+		k.mgrExitFrom = c.Clock.Now()
+		k.mgrExitArmed = true
+	}
+	return k.mgrNextRequest(c, pd)
 }
 
 // MgrRequestView is the read-only view of a request the manager sees (the
@@ -442,7 +538,7 @@ func (k *Kernel) MgrRequest(reqID uint32) (MgrRequestView, bool) {
 // table at the VA the client asked for — stage (3) of Fig. 7. The page is
 // guest-user accessible, so the client programs its task directly; other
 // guests have no mapping, which is the exclusivity guarantee of §IV-C.
-func (k *Kernel) mgrMapIface(reqID uint32, prr int) uint32 {
+func (k *Kernel) mgrMapIface(c *CoreCtx, reqID uint32, prr int) uint32 {
 	req, ok := k.hwByID[reqID]
 	if !ok || k.Fabric == nil || prr >= len(k.Fabric.PRRs) {
 		return StatusInval
@@ -452,10 +548,22 @@ func (k *Kernel) mgrMapIface(reqID uint32, prr int) uint32 {
 		return StatusInval
 	}
 	client := req.PD
+	// The client is parked in hcHwTaskRequest for the whole acquire, so
+	// its table is quiescent and may be edited from the manager's core.
 	client.Table.MapPage(va, k.Fabric.GroupBase(prr), DomainGuestUser, mmu.APFull)
-	k.chargePTEdit(client, va)
-	client.Core.CPU.TLB.FlushVA(va, client.ASID)
-	client.Core.CPU.CP15Write(cpu.CP15TLBIMVA, va)
+	k.chargePTEdit(c, client, va)
+	if len(k.Cores) == 1 || client.Core == c {
+		client.Core.CPU.TLB.FlushVA(va, client.ASID)
+		client.Core.CPU.CP15Write(cpu.CP15TLBIMVA, va)
+	} else {
+		// The client core's TLB is live on another goroutine: charge the
+		// maintenance here, apply the shootdown at the barrier — it lands
+		// before the completion wake (same shard, earlier sequence), so the
+		// client never runs on the stale entry.
+		c.Clock.Advance(cpu.CostCP15Op)
+		asid := client.ASID
+		k.post(c, func() { client.Core.CPU.InvalidateTLBVA(va, asid) })
+	}
 	if client.ifaceVA == nil {
 		client.ifaceVA = map[int]uint32{}
 	}
@@ -469,7 +577,7 @@ func (k *Kernel) mgrMapIface(reqID uint32, prr int) uint32 {
 // flag, then the PL IRQ line is withdrawn from its vGIC. The client is
 // a capability-resolved PD handle (the manager holds delegated client
 // capabilities, not raw IDs).
-func (k *Kernel) mgrUnmapIface(client *PD, prr int) uint32 {
+func (k *Kernel) mgrUnmapIface(c *CoreCtx, mgr, client *PD, prr int) uint32 {
 	if k.Fabric == nil {
 		return StatusInval
 	}
@@ -477,32 +585,73 @@ func (k *Kernel) mgrUnmapIface(client *PD, prr int) uint32 {
 	if !ok || va == 0 {
 		return StatusInval
 	}
-	// Save the register group into the reserved structure at the head of
-	// the data section: word0 = state flag (2 = inconsistent), words 1..8
-	// the register image.
-	if client.DataSectionSize >= 64 {
-		regs := k.Fabric.SaveRegGroup(prr)
-		base := client.DataSectionPA
-		_ = k.Bus.Write32(base, DataSectFlagInconsistent)
-		for i, r := range regs {
-			_ = k.Bus.Write32(base+physmem.Addr(4+i*4), r)
+	if len(k.Cores) == 1 {
+		// Save the register group into the reserved structure at the head of
+		// the data section: word0 = state flag (2 = inconsistent), words 1..8
+		// the register image.
+		if client.DataSectionSize >= 64 {
+			regs := k.Fabric.SaveRegGroup(prr)
+			base := client.DataSectionPA
+			_ = k.Bus.Write32(base, DataSectFlagInconsistent)
+			for i, r := range regs {
+				_ = k.Bus.Write32(base+physmem.Addr(4+i*4), r)
+			}
+			c.kctx.Exec(20)
+			k.Clock.Advance(9 * 2) // 9 word stores through the write buffer
 		}
-		k.editCtx().Exec(20)
-		k.Clock.Advance(9 * 2) // 9 word stores through the write buffer
+		client.Table.UnmapPage(va)
+		k.chargePTEdit(c, client, va)
+		client.Core.CPU.TLB.FlushVA(va, client.ASID)
+		delete(client.ifaceVA, prr)
+		// Withdraw the interrupt line.
+		if line := k.Fabric.PRRs[prr].IRQLine; line >= 0 {
+			irq := gic.PLIRQBase + line
+			client.VGIC.Unregister(irq)
+			k.plirqOwner[line] = nil
+			k.GIC.Disable(irq)
+			k.Fabric.ReleaseIRQ(prr)
+			k.Clock.Advance(CostDeviceAccess)
+		}
+		return StatusOK
 	}
-	client.Table.UnmapPage(va)
-	k.chargePTEdit(client, va)
-	client.Core.CPU.TLB.FlushVA(va, client.ASID)
-	delete(client.ifaceVA, prr)
-	// Withdraw the interrupt line.
+
+	// Multi-core reclaim: the victim may be live on another core, so every
+	// effect that its core can observe mid-epoch — the register save, the
+	// unmap and TLB shootdown, the vGIC withdrawal — lands at the barrier,
+	// and the manager parks until the teardown has committed (its next
+	// AllocateIRQ must see the released line). Costs are charged up front
+	// on the manager's clock.
+	c.kctx.Exec(20)
+	k.chargePTEdit(c, client, va)
+	c.Clock.Advance(9 * 2)
 	if line := k.Fabric.PRRs[prr].IRQLine; line >= 0 {
-		irq := gic.PLIRQBase + line
-		client.VGIC.Unregister(irq)
-		k.plirqOwner[line] = nil
-		k.GIC.Disable(irq)
-		k.Fabric.ReleaseIRQ(prr)
-		k.Clock.Advance(CostDeviceAccess)
+		c.Clock.Advance(CostDeviceAccess)
 	}
+	k.post(c, func() {
+		// A run may have started against the stale busy snapshot this
+		// epoch; abort it — reclaim wins.
+		k.Fabric.AbortRun(prr)
+		if client.DataSectionSize >= 64 {
+			regs := k.Fabric.SaveRegGroup(prr)
+			base := client.DataSectionPA
+			_ = k.Bus.Write32(base, DataSectFlagInconsistent)
+			for i, r := range regs {
+				_ = k.Bus.Write32(base+physmem.Addr(4+i*4), r)
+			}
+		}
+		client.Table.UnmapPage(va)
+		client.Core.CPU.InvalidateTLBVA(va, client.ASID)
+		delete(client.ifaceVA, prr)
+		if line := k.Fabric.PRRs[prr].IRQLine; line >= 0 {
+			irq := gic.PLIRQBase + line
+			client.VGIC.Unregister(irq)
+			k.plirqOwner[line] = nil
+			k.GIC.Disable(irq)
+			k.Fabric.ReleaseIRQ(prr)
+		}
+		k.wake(mgr)
+	})
+	mgr.Env.block()
 	return StatusOK
 }
 
@@ -510,7 +659,7 @@ func (k *Kernel) mgrUnmapIface(client *PD, prr int) uint32 {
 // stage (4) of Fig. 7. The window is read from the client's own
 // memory-region object (registered by HcRegionCreate), so the manager
 // can only target a section the client itself declared.
-func (k *Kernel) mgrHwMMULoad(client *PD, prr int) uint32 {
+func (k *Kernel) mgrHwMMULoad(c *CoreCtx, client *PD, prr int) uint32 {
 	if k.Fabric == nil {
 		return StatusInval
 	}
@@ -520,7 +669,9 @@ func (k *Kernel) mgrHwMMULoad(client *PD, prr int) uint32 {
 	}
 	w := obj.Payload.(regionWindow)
 	k.Fabric.HwMMU.Load(prr, pl.Window{Base: w.Base, Size: w.Size, Valid: true})
-	k.Clock.Advance(2 * CostDeviceAccess)
+	c.Clock.Advance(2 * CostDeviceAccess)
+	// Run/completion events of this region now ride the owner's core clock.
+	k.Fabric.BindClock(prr, client.Core.Clock)
 	// Reset the consistency flag for the new owner.
 	_ = k.Bus.Write32(w.Base, DataSectFlagOwned)
 	return StatusOK
@@ -535,7 +686,7 @@ func (k *Kernel) mgrHwMMULoad(client *PD, prr int) uint32 {
 // instead of bouncing it back as Busy. The completion IRQ is routed to
 // the requesting client when its transfer actually starts ("always
 // connected to the VM which launches the current transfer", §IV-D).
-func (k *Kernel) mgrPCAPStart(reqID, srcOff, length uint32, prr int, store regionWindow) uint32 {
+func (k *Kernel) mgrPCAPStart(c *CoreCtx, reqID, srcOff, length uint32, prr int, store regionWindow) uint32 {
 	req, ok := k.hwByID[reqID]
 	if !ok || k.Fabric == nil || k.Reconfig == nil {
 		return StatusInval
@@ -554,34 +705,64 @@ func (k *Kernel) mgrPCAPStart(reqID, srcOff, length uint32, prr int, store regio
 		Priority: pd.Priority,
 		Owner:    pd,
 		OnStart: func(*reconfig.Request) {
-			k.GIC.SetTarget(gic.PCAPIRQ, pd.Core.ID)
-			pd.VGIC.Register(gic.PCAPIRQ)
-			pd.VGIC.Enable(gic.PCAPIRQ)
+			if len(k.Cores) == 1 {
+				k.GIC.SetTarget(gic.PCAPIRQ, pd.Core.ID)
+				pd.VGIC.Register(gic.PCAPIRQ)
+				pd.VGIC.Enable(gic.PCAPIRQ)
+				return
+			}
+			// Multi-core: the completion line stays pinned to the manager's
+			// core (transfer events ride its clock; onIRQ forwards the
+			// injection cross-core); only the owner's vGIC registration is
+			// needed, deferred to the barrier when the owner lives elsewhere.
+			mc := k.reconfigCore()
+			if pd.Core == mc {
+				pd.VGIC.Register(gic.PCAPIRQ)
+				pd.VGIC.Enable(gic.PCAPIRQ)
+			} else {
+				k.post(mc, func() {
+					pd.VGIC.Register(gic.PCAPIRQ)
+					pd.VGIC.Enable(gic.PCAPIRQ)
+				})
+			}
 		},
 		OnDone: func(_ *reconfig.Request, ok bool) {
 			k.pcapDone = append(k.pcapDone, pd)
 		},
 	})
-	k.Clock.Advance(2 * CostDeviceAccess) // portal bookkeeping
+	c.Clock.Advance(2 * CostDeviceAccess) // portal bookkeeping
 	return StatusOK
 }
 
 // mgrAllocIRQ allocates a PL interrupt line for PRR prr and registers it,
 // enabled, in the requesting client's vGIC (§IV-D).
-func (k *Kernel) mgrAllocIRQ(reqID uint32, prr int) uint32 {
+func (k *Kernel) mgrAllocIRQ(c *CoreCtx, reqID uint32, prr int) uint32 {
 	req, ok := k.hwByID[reqID]
 	if !ok || k.Fabric == nil {
 		return StatusInval
 	}
+	target := req.PD
+	// install re-points line ownership into the new owner's vGIC. On a
+	// multi-core machine it runs at the barrier: SetTarget migrates GIC
+	// pending state between core banks and the previous owner may be live
+	// on another core, so mid-epoch application would race.
+	install := func(irq, line int) {
+		k.plirqOwner[line] = target
+		k.GIC.SetTarget(irq, target.Core.ID)
+		target.VGIC.Register(irq)
+		target.VGIC.Enable(irq)
+		if target == target.Core.Current {
+			k.GIC.Enable(irq)
+		}
+	}
 	if line := k.Fabric.PRRs[prr].IRQLine; line >= 0 {
 		// Line already allocated (region reuse): re-point ownership.
 		irq := gic.PLIRQBase + line
-		k.plirqOwner[line] = req.PD
-		k.GIC.SetTarget(irq, req.PD.Core.ID)
-		req.PD.VGIC.Register(irq)
-		req.PD.VGIC.Enable(irq)
-		if req.PD == req.PD.Core.Current {
-			k.GIC.Enable(irq)
+		if len(k.Cores) == 1 {
+			install(irq, line)
+		} else {
+			irq, line := irq, line
+			k.post(c, func() { install(irq, line) })
 		}
 		return uint32(irq)
 	}
@@ -590,15 +771,14 @@ func (k *Kernel) mgrAllocIRQ(reqID uint32, prr int) uint32 {
 		return StatusErr
 	}
 	line := irq - gic.PLIRQBase
-	k.plirqOwner[line] = req.PD
-	k.GIC.SetTarget(irq, req.PD.Core.ID)
-	req.PD.VGIC.Register(irq)
-	req.PD.VGIC.Enable(irq)
-	k.GIC.SetPriority(irq, 0x60)
-	if req.PD == req.PD.Core.Current {
-		k.GIC.Enable(irq)
+	if len(k.Cores) == 1 {
+		install(irq, line)
+		k.GIC.SetPriority(irq, 0x60)
+	} else {
+		k.GIC.SetPriority(irq, 0x60)
+		k.post(c, func() { install(irq, line) })
 	}
-	k.Clock.Advance(2 * CostDeviceAccess)
+	c.Clock.Advance(2 * CostDeviceAccess)
 	return uint32(irq)
 }
 

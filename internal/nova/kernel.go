@@ -3,6 +3,7 @@ package nova
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/capspace"
@@ -75,20 +76,31 @@ type Kernel struct {
 
 	PDs []*PD
 
-	// SMPSlice bounds one core's activation window when more than one
-	// core is simulated, keeping the interleaved cores advancing together
-	// on the shared clock. Cross-core wakes break the window early, so
-	// this is a fairness backstop, not the IPI latency.
+	// SMPSlice is retained for API compatibility with the old interleaved
+	// multi-core loop; the epoch engine ignores it (the epoch length in
+	// Epoch plays the window-bounding role now).
 	SMPSlice simclock.Cycles
+
+	// Epoch is the barrier interval of the parallel run loop (see
+	// DefaultEpoch); Epochs counts barrier windows executed, for the
+	// idle fast-forward diagnostics (not part of any scenario digest).
+	Epoch  simclock.Cycles
+	Epochs uint64
 
 	kernelPT *mmu.PageTable
 
-	// active is the core whose scheduling window is executing right now.
-	active *CoreCtx
-
 	running bool
 
-	yieldCh chan yieldReason
+	// committer collects cross-core effects posted during an epoch and
+	// replays them in deterministic (time, core, seq) order at the
+	// barrier; inCommit marks that replay so wake paths turn immediate.
+	committer *simclock.Committer
+	inCommit  bool
+
+	// prrBusySnap is the barrier-refreshed PRR busy snapshot cores poll
+	// through PRRBusy during an epoch.
+	prrBusySnap []bool
+
 	// dying is closed by Shutdown; every coroutine handoff selects on it
 	// so parked guest (and nested guest-task) goroutines unwind promptly.
 	dying    chan struct{}
@@ -104,9 +116,6 @@ type Kernel struct {
 	pcapObj    *capspace.Object   // PCAP/reconfiguration authority
 	storeObj   *capspace.Object   // bitstream store region
 	slotObjs   []*capspace.Object // one hw-task slot per PRR
-
-	// ipcFastCalls counts same-core synchronous portal-call handoffs.
-	ipcFastCalls uint64
 
 	// Hardware-task request plumbing (§IV-E).
 	hwQueue   []*HwRequest
@@ -133,7 +142,11 @@ type Kernel struct {
 	Console strings.Builder
 
 	// sd is the simulated SD card (block number -> 512-byte block).
-	sd map[uint32][]byte
+	// sdMu guards the map header only — cores on concurrent goroutines
+	// read and replace whole blocks; block contents are immutable once
+	// stored.
+	sd   map[uint32][]byte
+	sdMu sync.Mutex
 
 	// EagerVFP disables the lazy-switch policy of Table I: the full VFP
 	// context is saved and restored on every world switch (ablation).
@@ -152,9 +165,12 @@ type Kernel struct {
 func NewKernel() *Kernel { return NewKernelSMP(1) }
 
 // NewKernelSMP boots a Mini-NOVA kernel on a machine with ncores
-// simulated Cortex-A9 cores: shared clock, bus and L2, per-core L1
+// simulated Cortex-A9 cores: shared bus, per-core clock cursors, L1
 // caches, TLBs, private timers and GIC CPU interfaces — the dual-core
-// Zynq-7000 at ncores == 2.
+// Zynq-7000 at ncores == 2. Clock aliases core 0's clock; on a
+// single-core machine it is the only one. A multi-core machine carries
+// way-partitioned L2 slices so concurrent core goroutines never share
+// mutable cache state.
 func NewKernelSMP(ncores int) *Kernel {
 	if ncores < 1 {
 		panic("nova: need at least one core")
@@ -163,18 +179,19 @@ func NewKernelSMP(ncores int) *Kernel {
 	bus := physmem.NewBus()
 	g := gic.NewMP(ncores)
 	k := &Kernel{
-		Clock:    clock,
-		Bus:      bus,
-		GIC:      g,
-		Alloc:    mmu.NewFrameAllocator(physTables, 8<<20),
-		Sched:    sched.NewPrioRR(ncores, simclock.FromMillis(DefaultQuantumMs)),
-		Probes:   measure.NewSet(),
-		SMPSlice: simclock.FromMillis(1),
-		hwByID:   make(map[uint32]*HwRequest),
-		yieldCh:  make(chan yieldReason),
-		dying:    make(chan struct{}),
-		sd:       make(map[uint32][]byte),
-		asidNext: 1,
+		Clock:     clock,
+		Bus:       bus,
+		GIC:       g,
+		Alloc:     mmu.NewFrameAllocator(physTables, 8<<20),
+		Sched:     sched.NewPrioRR(ncores, simclock.FromMillis(DefaultQuantumMs)),
+		Probes:    measure.NewSet(),
+		SMPSlice:  simclock.FromMillis(1),
+		Epoch:     DefaultEpoch,
+		committer: simclock.NewCommitter(ncores),
+		hwByID:    make(map[uint32]*HwRequest),
+		dying:     make(chan struct{}),
+		sd:        make(map[uint32][]byte),
+		asidNext:  1,
 	}
 	// Kernel address space: global mappings only; ASID 0. One table,
 	// shared by every core (§III-C: kernel mappings are global).
@@ -195,12 +212,21 @@ func NewKernelSMP(ncores int) *Kernel {
 	k.rootSpace.Insert(rootSelPCAP, k.pcapObj, capspace.RightsAll)
 	k.rootSpace.Insert(rootSelStore, k.storeObj, capspace.RightsAll)
 
-	hier := cache.NewA9SharedL2(ncores)
+	hier := cache.NewA9SharedL2(1)
+	if ncores > 1 {
+		hier = cache.NewA9WayPartitionedL2(ncores)
+	}
 	for i := 0; i < ncores; i++ {
+		cclk := clock
+		if i > 0 {
+			cclk = simclock.New()
+		}
 		c := &CoreCtx{
-			ID:    i,
-			CPU:   cpu.NewCore(clock, bus, g, i, hier[i]),
-			Timer: timer.NewFor(clock, g, i),
+			ID:      i,
+			Clock:   cclk,
+			CPU:     cpu.NewCore(cclk, bus, g, i, hier[i]),
+			Timer:   timer.NewFor(cclk, g, i),
+			yieldCh: make(chan yieldReason),
 		}
 		c.CPU.Mode = cpu.ModeSVC
 		c.CPU.CP15Write(cpu.CP15TTBR0, uint32(k.kernelPT.Base))
@@ -218,6 +244,21 @@ func NewKernelSMP(ncores int) *Kernel {
 		k.Cores = append(k.Cores, c)
 	}
 	k.CPU = k.Cores[0].CPU
+
+	if ncores > 1 {
+		// SMP bring-up: each secondary core executes the kernel's init path
+		// before guests start, leaving the kernel text resident in its cache
+		// hierarchy — otherwise a mostly-idle service core pays a cold DDR
+		// fetch for every line of its rarely-run IRQ/wake path for the whole
+		// first lap of the fetch cursor. Warmed at time zero, before the
+		// workload, so no clock is charged. The single-core machine keeps
+		// the seed's cold-boot layout.
+		for _, c := range k.Cores {
+			for off := uint32(0); off < KernelCodeSize; off += cache.LineSize {
+				c.CPU.Caches.FetchCost(physKernelCode + physmem.Addr(off))
+			}
+		}
+	}
 
 	// Kernel-owned interrupts. Banked ids enable on every core's
 	// interface (each core's private timer drives its own quantum).
@@ -249,6 +290,26 @@ func (k *Kernel) AttachFabric(f *pl.Fabric) {
 	}
 	if k.hwSvc != nil {
 		k.delegateManagerPowers(k.hwSvc)
+		k.bindManagerClocks()
+	}
+}
+
+// bindManagerClocks pins the reconfiguration machinery to the manager
+// service's home core on a multi-core machine: the PCAP completion line
+// targets that core's GIC bank, and the fabric/pipeline default clocks
+// become that core's cursor, so reconfiguration events fire on the
+// goroutine that owns them.
+func (k *Kernel) bindManagerClocks() {
+	if len(k.Cores) == 1 || k.hwSvc == nil {
+		return
+	}
+	clk := k.hwSvc.Core.Clock
+	k.GIC.SetTarget(gic.PCAPIRQ, k.hwSvc.Core.ID)
+	if k.Fabric != nil {
+		k.Fabric.Clock = clk
+	}
+	if k.Reconfig != nil {
+		k.Reconfig.Clock = clk
 	}
 }
 
@@ -272,7 +333,7 @@ func (k *Kernel) BindPLIRQ(line int, pd *PD) int {
 	pd.VGIC.Enable(irq)
 	if pd == pd.Core.Current {
 		k.GIC.Enable(irq)
-		k.Clock.Advance(CostDeviceAccess)
+		pd.Core.Clock.Advance(CostDeviceAccess)
 	}
 	return irq
 }
@@ -371,6 +432,7 @@ func (k *Kernel) RegisterHwService(pd *PD) {
 	}
 	k.hwSvc = pd
 	k.delegateManagerPowers(pd)
+	k.bindManagerClocks()
 }
 
 // delegateManagerPowers copies the kernel's device objects out of the
@@ -436,7 +498,7 @@ func (k *Kernel) guestWrapper(pd *PD) {
 	k.failPortalCallers(pd)
 	for {
 		select {
-		case k.yieldCh <- yieldExited:
+		case pd.Core.yieldCh <- yieldExited:
 		case <-k.dying:
 			return
 		}
@@ -462,7 +524,7 @@ func (e *Env) yield(r yieldReason) {
 	c := e.PD.Core.CPU
 	savedMode, savedMask := c.Mode, c.IRQMasked
 	select {
-	case k.yieldCh <- r:
+	case e.PD.Core.yieldCh <- r:
 	case <-k.dying:
 		panic(killSentinel)
 	}
@@ -495,9 +557,18 @@ func (e *Env) block() {
 	e.yield(yieldBlocked)
 }
 
-// Run executes the system until the given absolute simulated time,
-// interleaving the cores' scheduling windows on the shared clock.
+// Run executes the system until the given absolute simulated time. A
+// single-core machine runs the paper's sequential loop; a multi-core
+// machine runs the epoch-barrier engine on one goroutine — the reference
+// oracle RunParallel is byte-identical to. The engine's horizon jump also
+// fixes the old loop's idle behaviour: with every core idle, time
+// advances in one step to the earliest event instead of creeping through
+// per-core wake polls.
 func (k *Kernel) Run(until simclock.Cycles) {
+	if len(k.Cores) > 1 {
+		k.runEpochs(until, 1)
+		return
+	}
 	k.running = true
 	defer func() { k.running = false }()
 	for k.Clock.Now() < until {
@@ -560,7 +631,7 @@ func (k *Kernel) armVirtualTimer(pd *PD) {
 	if d == 0 {
 		d = pd.VCPU.TimerPeriod
 	}
-	pd.timerEvent = k.Clock.After(d, func(simclock.Cycles) {
+	pd.timerEvent = pd.Core.Clock.After(d, func(simclock.Cycles) {
 		pd.timerEvent = nil
 		pd.timerRemaining = 0
 		if pd.dead || pd.VCPU.TimerPeriod == 0 {
@@ -580,12 +651,13 @@ func (k *Kernel) parkVirtualTimer(pd *PD) {
 	if pd.timerEvent == nil {
 		return
 	}
-	if pd.timerEvent.When > k.Clock.Now() {
-		pd.timerRemaining = pd.timerEvent.When - k.Clock.Now()
+	clk := pd.Core.Clock
+	if pd.timerEvent.When > clk.Now() {
+		pd.timerRemaining = pd.timerEvent.When - clk.Now()
 	} else {
 		pd.timerRemaining = 0
 	}
-	k.Clock.Cancel(pd.timerEvent)
+	clk.Cancel(pd.timerEvent)
 	pd.timerEvent = nil
 }
 
@@ -597,7 +669,7 @@ func (k *Kernel) worldSwitch(c *CoreCtx, next *PD) {
 	if c.Current == next {
 		return
 	}
-	t0 := k.Clock.Now()
+	t0 := c.Clock.Now()
 	c.kctx.Exec(48) // scheduler pick + switch trampoline
 
 	prev := c.Current
@@ -621,7 +693,7 @@ func (k *Kernel) worldSwitch(c *CoreCtx, next *PD) {
 		}
 		if masked {
 			c.kctx.Exec(8)
-			k.Clock.Advance(CostDeviceAccess)
+			c.Clock.Advance(CostDeviceAccess)
 		}
 	}
 
@@ -636,11 +708,11 @@ func (k *Kernel) worldSwitch(c *CoreCtx, next *PD) {
 	}
 	if unmasked {
 		c.kctx.Exec(8)
-		k.Clock.Advance(CostDeviceAccess)
+		c.Clock.Advance(CostDeviceAccess)
 	}
 	if k.EagerVFP {
 		// Ablation: unconditional VFP save + restore on every switch.
-		k.Clock.Advance(2 * cpu.VFPContextCost())
+		c.Clock.Advance(2 * cpu.VFPContextCost())
 		c.CPU.VFPEnabled = true
 	} else {
 		// Lazy switch (Table I): VFP stays with its owner until touched.
@@ -654,7 +726,7 @@ func (k *Kernel) worldSwitch(c *CoreCtx, next *PD) {
 	c.Current = next
 	k.armVirtualTimer(next)
 	next.Switches++
-	k.Probes.Add(measure.PhaseVMSwitch, k.Clock.Now()-t0)
+	k.Probes.Add(measure.PhaseVMSwitch, c.Clock.Now()-t0)
 }
 
 // onUndef handles undefined-instruction traps: privileged-op emulation and
@@ -683,11 +755,11 @@ func (k *Kernel) lazyVFPSwitch(c *CoreCtx) bool {
 	}
 	// Save the previous owner's context, restore the current PD's.
 	if c.vfpOwner != nil && c.vfpOwner != cur {
-		k.Clock.Advance(cpu.VFPContextCost())
+		c.Clock.Advance(cpu.VFPContextCost())
 		c.vfpOwner.VCPU.VFPValid = true
 	}
 	if cur.VCPU.VFPValid {
-		k.Clock.Advance(cpu.VFPContextCost())
+		c.Clock.Advance(cpu.VFPContextCost())
 	}
 	c.vfpOwner = cur
 	c.CPU.VFPEnabled = true
@@ -712,9 +784,9 @@ func (k *Kernel) onAbort(c *CoreCtx, f *mmu.Fault) bool {
 // timer to the core's scheduler, reschedule SGI to the core's resched
 // flag, PCAP to the launching VM, PL lines to their owning VM's vGIC.
 func (k *Kernel) onIRQ(c *CoreCtx) {
-	t0 := k.Clock.Now() - cpu.CostExceptionEntry
+	t0 := c.Clock.Now() - cpu.CostExceptionEntry
 	c.kctx.Exec(26) // vector + IRQ-mode entry + GIC interface read
-	k.Clock.Advance(2 * CostDeviceAccess)
+	c.Clock.Advance(2 * CostDeviceAccess)
 	id := k.GIC.Acknowledge(c.ID)
 	if id == gic.SpuriousID {
 		return
@@ -736,11 +808,23 @@ func (k *Kernel) onIRQ(c *CoreCtx) {
 		// Drain every completion since the last interrupt: with the
 		// reconfiguration queue, the next transfer starts before this one
 		// is acknowledged, so the single pending bit can cover several
-		// owners.
+		// owners. The line is pinned to the manager's core; completions for
+		// clients homed elsewhere defer their vGIC injection to the barrier
+		// (the owning core's goroutine must not be written mid-epoch).
 		for _, pd := range k.pcapDone {
-			if pd.VGIC.Inject(id) {
-				k.wakeIfIdle(pd)
-				k.maybePreemptFor(pd)
+			pd := pd
+			if len(k.Cores) == 1 || pd.Core == c {
+				if pd.VGIC.Inject(id) {
+					k.wakeIfIdle(pd)
+					k.maybePreemptFor(pd)
+				}
+			} else {
+				k.post(c, func() {
+					if pd.VGIC.Inject(id) {
+						k.wakeIfIdle(pd)
+						k.maybePreemptFor(pd)
+					}
+				})
 			}
 		}
 		k.pcapDone = k.pcapDone[:0]
@@ -757,7 +841,7 @@ func (k *Kernel) onIRQ(c *CoreCtx) {
 			c.kctx.Exec(14)
 			if pd.VGIC.Inject(id) {
 				k.wakeIfIdle(pd)
-				k.Probes.Add(measure.PhasePLIRQEntry, k.Clock.Now()-t0)
+				k.Probes.Add(measure.PhasePLIRQEntry, c.Clock.Now()-t0)
 			}
 		}
 	default:
@@ -774,11 +858,11 @@ func (k *Kernel) wakeIfIdle(pd *PD) {
 }
 
 // maybePreemptFor requests a reschedule on pd's home core when pd
-// outranks what that core is running. A wake on the active core (or on a
-// single-core machine) just flags the core; a wake targeting a peer core
-// latches a reschedule SGI on that core's GIC interface and breaks the
-// active core's window so the interleaved loop reaches the peer promptly
-// — the model's inter-processor interrupt.
+// outranks what that core is running. A same-core wake flags the core; a
+// cross-core wake arrives here only inside a barrier commit (wakeFrom
+// posts it), where the SGI is latched on the peer's GIC interface so the
+// target takes it at its next epoch entry — the model's inter-processor
+// interrupt, with its doorbell cost charged on the posting core.
 func (k *Kernel) maybePreemptFor(pd *PD) {
 	target := pd.Core
 	// Only a runnable resident PD of equal or higher priority shields its
@@ -788,15 +872,11 @@ func (k *Kernel) maybePreemptFor(pd *PD) {
 	if cur != nil && cur != pd && k.Sched.Queued(&cur.node) && pd.Priority <= cur.Priority {
 		return
 	}
-	if target == k.active || len(k.Cores) == 1 {
-		target.needResched = true
+	if k.inCommit && len(k.Cores) > 1 {
+		k.GIC.RaiseSGI(target.ID, SGIReschedule)
 		return
 	}
-	k.GIC.RaiseSGI(target.ID, SGIReschedule)
-	k.Clock.Advance(CostDeviceAccess) // GICD_SGIR write
-	if k.active != nil {
-		k.active.needResched = true
-	}
+	target.needResched = true
 }
 
 // wake moves a PD into its home core's run queue and preempts if it

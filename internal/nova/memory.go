@@ -104,7 +104,7 @@ func (k *Kernel) buildGuestSpace(id int) AddressSpace {
 	// do not collide in the same physically-indexed L2 sets — the layout
 	// a real allocator's metadata produces naturally.
 	ramBase := physGuests + physmem.Addr(id*(GuestRAMSize+0x11000))
-	pt := mmu.NewPageTable(k.Bus, k.Alloc)
+	pt := mmu.NewPageTable(k.Bus, k.allocFor(id))
 	mapKernelInto(pt)
 
 	kernelPart := uint32(GuestRAMSize / 4)
@@ -126,6 +126,19 @@ func (k *Kernel) buildGuestSpace(id int) AddressSpace {
 		}
 	}
 	return AddressSpace{Table: pt, RAMBase: ramBase, RAMSize: GuestRAMSize}
+}
+
+// allocFor returns the frame allocator backing PD id's page tables. On a
+// single-core machine every space shares the global pool (the sequential
+// loop's byte-frozen layout); a multi-core machine carves a private
+// 256 KB arena per PD out of the pool, so lazy second-level table
+// allocation on concurrent cores never races on the shared cursor.
+// 256 KB holds the 16 KB L1 plus every 1 KB L2 a guest can need.
+func (k *Kernel) allocFor(id int) *mmu.FrameAllocator {
+	if len(k.Cores) == 1 {
+		return k.Alloc
+	}
+	return mmu.NewFrameAllocator(k.Alloc.Alloc(256<<10, 16<<10), 256<<10)
 }
 
 // translateGuestVA resolves a guest VA through the PD's table, for kernel

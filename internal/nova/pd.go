@@ -175,5 +175,6 @@ func (e *Env) PendingVIRQ() {
 	}
 }
 
-// Now returns the simulated time (guests may read the global counter).
-func (e *Env) Now() simclock.Cycles { return e.K.Clock.Now() }
+// Now returns the simulated time as this PD's core sees it (guests read
+// their own core's counter; cores drift within an epoch in parallel runs).
+func (e *Env) Now() simclock.Cycles { return e.PD.Core.Clock.Now() }

@@ -181,8 +181,27 @@ func (k *Kernel) CapStats() capspace.Stats {
 }
 
 // IPCFastCalls counts portal calls that took the same-core synchronous
-// handoff fast path.
-func (k *Kernel) IPCFastCalls() uint64 { return k.ipcFastCalls }
+// handoff fast path (summed over the per-core shards).
+func (k *Kernel) IPCFastCalls() uint64 {
+	var n uint64
+	for _, c := range k.Cores {
+		n += c.ipcFastCalls
+	}
+	return n
+}
+
+// writeConsole appends one byte to the shared console. The console is a
+// single serialized device: concurrent cores defer the write to the
+// barrier so the stream (part of scenario digests) orders by simulated
+// time, not host interleaving.
+func (k *Kernel) writeConsole(c *CoreCtx, b byte) {
+	if len(k.Cores) == 1 || k.inCommit {
+		k.Console.WriteByte(b)
+	} else {
+		k.post(c, func() { k.Console.WriteByte(b) })
+	}
+	c.Clock.Advance(CostDeviceAccess)
+}
 
 // --- Guest service portals (the paper's 25 hypercalls) ---------------
 
@@ -191,8 +210,7 @@ func portalNull(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
 }
 
 func portalPrint(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
-	k.Console.WriteByte(byte(args[0]))
-	k.Clock.Advance(CostDeviceAccess)
+	k.writeConsole(c, byte(args[0]))
 	return StatusOK
 }
 
@@ -236,7 +254,7 @@ func portalIRQEnable(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
 	}
 	if physicalLine(irq) && pd == c.Current {
 		k.GIC.Enable(irq)
-		k.Clock.Advance(CostDeviceAccess)
+		c.Clock.Advance(CostDeviceAccess)
 	}
 	return StatusOK
 }
@@ -248,7 +266,7 @@ func portalIRQDisable(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
 	}
 	if physicalLine(irq) {
 		k.GIC.Disable(irq)
-		k.Clock.Advance(CostDeviceAccess)
+		c.Clock.Advance(CostDeviceAccess)
 	}
 	return StatusOK
 }
@@ -271,11 +289,11 @@ func portalTLBFlush(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
 }
 
 func portalMapPage(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
-	return k.hcMapPage(pd, args[0], args[1])
+	return k.hcMapPage(c, pd, args[0], args[1])
 }
 
 func portalUnmapPage(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
-	return k.hcUnmapPage(pd, args[0])
+	return k.hcUnmapPage(c, pd, args[0])
 }
 
 func portalRegionCreate(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
@@ -291,15 +309,15 @@ func portalDACRSwitch(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
 }
 
 func portalHwTaskRequest(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
-	return k.hcHwTaskRequest(pd, HwReqAcquire, args)
+	return k.hcHwTaskRequest(c, pd, HwReqAcquire, args)
 }
 
 func portalHwTaskRelease(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
-	return k.hcHwTaskRequest(pd, HwReqRelease, args)
+	return k.hcHwTaskRequest(c, pd, HwReqRelease, args)
 }
 
 func portalHwTaskStatus(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
-	return k.hcHwTaskStatus(pd, args[0])
+	return k.hcHwTaskStatus(c, pd, args[0])
 }
 
 func portalIPCCall(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
@@ -307,29 +325,28 @@ func portalIPCCall(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
 }
 
 func portalIPCRecv(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
-	return k.hcPortalRecv(pd, args[0], args[1])
+	return k.hcPortalRecv(c, pd, args[0], args[1])
 }
 
 func portalUARTWrite(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
-	k.Console.WriteByte(byte(args[0]))
-	k.Clock.Advance(CostDeviceAccess)
+	k.writeConsole(c, byte(args[0]))
 	return StatusOK
 }
 
 func portalUARTRead(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
-	k.Clock.Advance(CostDeviceAccess)
+	c.Clock.Advance(CostDeviceAccess)
 	return 0 // no input source modelled; returns "no data"
 }
 
 func portalSDRead(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
-	return k.hcSD(pd, args[0], args[1], false)
+	return k.hcSD(c, pd, args[0], args[1], false)
 }
 
 // portalSDWrite needs no explicit I/O check: a PD without CapIODirect
 // holds the capability with no rights, so resolution already failed
 // with Denied before the handler could run.
 func portalSDWrite(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
-	return k.hcSD(pd, args[0], args[1], true)
+	return k.hcSD(c, pd, args[0], args[1], true)
 }
 
 func portalSuspend(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
@@ -362,14 +379,14 @@ func portalMgrNextRequest(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 
 	if _, err := pd.Space.Lookup(SelMgrQueue, capspace.ObjSem, capspace.RightCall); err != capspace.OK {
 		return capStatus(err)
 	}
-	return k.mgrNextRequest(pd)
+	return k.mgrNextRequest(c, pd)
 }
 
 func portalMgrComplete(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
 	if _, err := pd.Space.Lookup(SelMgrQueue, capspace.ObjSem, capspace.RightCall); err != capspace.OK {
 		return capStatus(err)
 	}
-	return k.mgrComplete(pd, args[0], args[1])
+	return k.mgrComplete(c, pd, args[0], args[1])
 }
 
 // slotCap resolves the caller's capability to PRR prr's hardware-task
@@ -401,7 +418,7 @@ func portalMgrMapIface(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
 	if st, ok := slotCap(pd, prr); !ok {
 		return st
 	}
-	return k.mgrMapIface(args[0], prr)
+	return k.mgrMapIface(c, args[0], prr)
 }
 
 func portalMgrUnmapIface(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
@@ -412,7 +429,7 @@ func portalMgrUnmapIface(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
 	if st, ok := slotCap(pd, int(args[1])); !ok {
 		return st
 	}
-	return k.mgrUnmapIface(client, int(args[1]))
+	return k.mgrUnmapIface(c, pd, client, int(args[1]))
 }
 
 func portalMgrHwMMULoad(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
@@ -423,7 +440,7 @@ func portalMgrHwMMULoad(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
 	if st, ok := slotCap(pd, int(args[1])); !ok {
 		return st
 	}
-	return k.mgrHwMMULoad(client, int(args[1]))
+	return k.mgrHwMMULoad(c, client, int(args[1]))
 }
 
 func portalMgrPCAPStart(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
@@ -437,12 +454,12 @@ func portalMgrPCAPStart(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
 	if st, ok := slotCap(pd, int(args[3])); !ok {
 		return st
 	}
-	return k.mgrPCAPStart(args[0], args[1], args[2], int(args[3]), store.Payload.(regionWindow))
+	return k.mgrPCAPStart(c, args[0], args[1], args[2], int(args[3]), store.Payload.(regionWindow))
 }
 
 func portalMgrAllocIRQ(k *Kernel, c *CoreCtx, pd *PD, args [4]uint32) uint32 {
 	if st, ok := slotCap(pd, int(args[1])); !ok {
 		return st
 	}
-	return k.mgrAllocIRQ(args[0], int(args[1]))
+	return k.mgrAllocIRQ(c, args[0], int(args[1]))
 }

@@ -151,7 +151,9 @@ func TestCrossCoreWakeLatency(t *testing.T) {
 	})
 	k.Clock.After(simclock.FromMillis(2), func(now simclock.Cycles) {
 		wokenAt = now
-		k.wake(svc)
+		// The callback rides core 0's clock; the wake crosses to core 1
+		// through the epoch committer like any cross-core effect.
+		k.wakeFrom(k.Cores[0], svc)
 	})
 	k.RunFor(simclock.FromMillis(10))
 	if ranAt == 0 {

@@ -186,20 +186,22 @@ func (v *VGIC) DrainPending() []int {
 // HasPending reports whether injected vIRQs await delivery.
 func (v *VGIC) HasPending() bool { return len(v.pending) > 0 }
 
-// ApplyToGIC programs the physical distributor for a VM switch: when
-// active, this VM's enabled lines are unmasked; otherwise all its lines
-// are masked. The record list is walked in ascending IRQ order, so the
-// distributor-op sequence is deterministic. Returns the number of
-// distributor operations performed so the world-switch path can charge
-// their cost (the per-line GIC writes are part of the paper's switch
-// overhead).
-func (v *VGIC) ApplyToGIC(g *gic.GIC, active bool) int {
+// ApplyToGIC programs the physical distributor for a VM switch on cpu:
+// when active, this VM's enabled lines are unmasked; otherwise all its
+// lines are masked. The record list is walked in ascending IRQ order, so
+// the distributor-op sequence is deterministic. Banked (per-CPU) lines are
+// programmed only on cpu's own bank — world switches on different cores
+// run concurrently in parallel mode and must not touch each other's banked
+// enable state. Returns the number of distributor operations performed so
+// the world-switch path can charge their cost (the per-line GIC writes are
+// part of the paper's switch overhead).
+func (v *VGIC) ApplyToGIC(g *gic.GIC, active bool, cpu int) int {
 	ops := 0
 	for _, irq := range v.order {
 		if active && v.entries[irq].enabled {
-			g.Enable(irq)
+			g.EnableOn(cpu, irq)
 		} else {
-			g.Disable(irq)
+			g.DisableOn(cpu, irq)
 		}
 		ops++
 	}

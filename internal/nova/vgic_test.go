@@ -60,10 +60,10 @@ func TestVGICApplyToGICDeterministic(t *testing.T) {
 	a, b := build(fwd), build(rev)
 
 	ga, gb := gic.New(), gic.New()
-	if ops := a.ApplyToGIC(ga, true); ops != len(fwd) {
+	if ops := a.ApplyToGIC(ga, true, 0); ops != len(fwd) {
 		t.Fatalf("ops = %d, want %d", ops, len(fwd))
 	}
-	b.ApplyToGIC(gb, true)
+	b.ApplyToGIC(gb, true, 0)
 	for _, irq := range fwd {
 		if ga.IsEnabled(irq) != gb.IsEnabled(irq) {
 			t.Errorf("irq %d enable state diverged across registration orders", irq)

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Addr is a 32-bit physical address (the Zynq-7000 PS has a 4 GB map).
@@ -91,8 +92,8 @@ type frameBuf [FrameSize]byte
 type Bus struct {
 	ddr     []*frameBuf // DDRSize/FrameSize entries, frame number indexed
 	ocm     []*frameBuf
-	touched int      // allocated frames, for the footprint report
-	windows []window // sorted by base
+	touched atomic.Int64 // allocated frames, for the footprint report
+	windows []window     // sorted by base
 }
 
 // NewBus returns an empty bus with DDR and OCM RAM available.
@@ -148,8 +149,14 @@ func (b *Bus) frame(a Addr) *frameBuf {
 		slot = &b.ocm[(a-OCMBase)>>FrameShift]
 	}
 	if *slot == nil {
+		// Parallel runs keep concurrent cores off shared untouched frames:
+		// bytes only move through per-PD regions (disjoint guest RAM bases,
+		// page-table arenas carved at construction), while kernel text and
+		// data traffic is cost-only — the caches track tag state and never
+		// read the bus. A plain slot store is therefore safe; only the
+		// global footprint counter is shared and needs to be atomic.
 		*slot = new(frameBuf)
-		b.touched++
+		b.touched.Add(1)
 	}
 	return *slot
 }
@@ -246,4 +253,4 @@ func (b *Bus) WriteBytes(a Addr, p []byte) error {
 
 // TouchedFrames reports how many distinct 4 KB frames have been allocated;
 // the footprint report uses it as the resident-memory figure.
-func (b *Bus) TouchedFrames() int { return b.touched }
+func (b *Bus) TouchedFrames() int { return int(b.touched.Load()) }

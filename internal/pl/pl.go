@@ -20,6 +20,7 @@ package pl
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bitstream"
 	"repro/internal/gic"
@@ -86,8 +87,10 @@ func (w Window) Contains(a physmem.Addr, n uint32) bool {
 // Disabled turns the check off (security ablation: without the hwMMU a
 // hardware task can DMA anywhere, which is exactly the §IV-C threat).
 type HwMMU struct {
-	windows    []Window
-	Violations uint64
+	windows []Window
+	// Violations is atomic: completion-path checks for different PRRs can
+	// run on different core goroutines during a parallel epoch.
+	Violations atomic.Uint64
 	Disabled   bool
 }
 
@@ -106,7 +109,7 @@ func (h *HwMMU) Check(r int, a physmem.Addr, n uint32) bool {
 	if h.windows[r].Contains(a, n) {
 		return true
 	}
-	h.Violations++
+	h.Violations.Add(1)
 	return h.Disabled // disabled: count the breach but let it through
 }
 
@@ -122,6 +125,12 @@ type PRR struct {
 
 	// IRQLine is the PL_IRQ line allocated to this region (-1 = none).
 	IRQLine int
+
+	// clock, when set, carries this region's completion events. A mapped
+	// region belongs to exactly one client VM, so its events ride that
+	// client core's clock in parallel runs; nil falls back to the fabric
+	// clock (single-clock configurations and unit tests).
+	clock *simclock.Clock
 
 	regs    [8]uint32
 	pending *simclock.Event
@@ -194,6 +203,34 @@ func (f *Fabric) AllocateIRQ(r int) (int, error) {
 // ReleaseIRQ frees PRR r's interrupt line.
 func (f *Fabric) ReleaseIRQ(r int) { f.PRRs[r].IRQLine = -1 }
 
+// BindClock routes PRR r's future completion events onto clk (the owning
+// client core's clock in parallel runs). Pass nil to fall back to the
+// fabric clock. Must only be called while the region has no task in
+// flight — the manager never remaps a busy region, so the mapping and
+// unmapping paths satisfy this by construction.
+func (f *Fabric) BindClock(r int, clk *simclock.Clock) { f.PRRs[r].clock = clk }
+
+// AbortRun cancels PRR r's in-flight task, if any: the pending completion
+// event is removed from whichever clock carries it and the region reports
+// an error, exactly as a real partial-reconfiguration abort would leave
+// the old task's status. The manager's forced-reclaim path uses this so a
+// completion launched by the previous owner can never land after the
+// region has been handed to a new one.
+func (f *Fabric) AbortRun(r int) {
+	p := f.PRRs[r]
+	if p.pending == nil {
+		return
+	}
+	clk := p.clock
+	if clk == nil {
+		clk = f.Clock
+	}
+	clk.Cancel(p.pending)
+	p.pending = nil
+	p.regs[RegStatus/4] = StatusError
+	p.regs[RegIRQStat/4] |= 2
+}
+
 // Name implements physmem.Device.
 func (f *Fabric) Name() string { return "prr-controller" }
 
@@ -260,7 +297,11 @@ func (f *Fabric) start(p *PRR) {
 	n := int(p.regs[RegLen/4])
 	param := p.regs[RegParam/4]
 	lat := core.Latency(n, param)
-	p.pending = f.Clock.After(lat, func(simclock.Cycles) {
+	clk := p.clock
+	if clk == nil {
+		clk = f.Clock
+	}
+	p.pending = clk.After(lat, func(simclock.Cycles) {
 		f.complete(p, core)
 	})
 }

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func init() {
+	experiments.RegisterParallelBench(MeasureParallelSpeedups)
+}
+
+// ParallelBenchSpecs returns the parallel-engine benchmark subjects:
+// oversubscribed-8vm core-scaled to four unaffined cores (the ROADMAP's
+// 8+-core trajectory in miniature) and dual-core-spread as shipped. Both
+// keep every VM floating so the load actually spreads.
+func ParallelBenchSpecs(short bool) []Spec {
+	over, ok := FindSpec("oversubscribed-8vm", short)
+	if !ok {
+		panic("scenario: oversubscribed-8vm missing from the suite")
+	}
+	over.Name = "oversubscribed-8vm-4core"
+	over.Cores = 4
+	dual, ok := FindSpec("dual-core-spread", short)
+	if !ok {
+		panic("scenario: dual-core-spread missing from the suite")
+	}
+	return []Spec{over, dual}
+}
+
+// MeasureParallelSpeedup runs one spec through the sequential loop and
+// through RunParallel with the given shard count, best-of-reps each (plus
+// one untimed warm-up), verifies the checksums agree, and reports the
+// wall-clock ratio.
+func MeasureParallelSpeedup(spec Spec, shards, reps int) experiments.ParallelSpeedup {
+	if reps < 1 {
+		reps = 1
+	}
+	norm := spec.normalized()
+	res := experiments.ParallelSpeedup{
+		Scenario: norm.Name, Cores: norm.Cores, Shards: shards, ChecksumMatch: true,
+	}
+	var seqSum, parSum uint64
+	timeOne := func(shards int) (float64, uint64) {
+		s := spec
+		s.Shards = shards
+		best, sum := 0.0, uint64(0)
+		for rep := 0; rep <= reps; rep++ {
+			start := time.Now()
+			r := Build(s).Run()
+			hostMs := float64(time.Since(start).Nanoseconds()) / 1e6
+			sum = r.Checksum
+			if rep == 0 {
+				continue // warm-up
+			}
+			if best == 0 || hostMs < best {
+				best = hostMs
+			}
+		}
+		return best, sum
+	}
+	res.SeqHostMs, seqSum = timeOne(0)
+	res.ParHostMs, parSum = timeOne(shards)
+	res.ChecksumMatch = seqSum == parSum
+	if res.ParHostMs > 0 {
+		res.Speedup = res.SeqHostMs / res.ParHostMs
+	}
+	return res
+}
+
+// MeasureParallelSpeedups is the RunSimBench hook: every benchmark spec
+// measured at 4 shards (clamped to the spec's core count by RunParallel).
+func MeasureParallelSpeedups(short bool) []experiments.ParallelSpeedup {
+	reps := 3
+	if short {
+		reps = 2
+	}
+	var out []experiments.ParallelSpeedup
+	for _, spec := range ParallelBenchSpecs(short) {
+		out = append(out, MeasureParallelSpeedup(spec, 4, reps))
+	}
+	return out
+}

@@ -14,6 +14,7 @@ package scenario
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
@@ -80,6 +81,11 @@ type Spec struct {
 	RunMs float64
 	// Seed diversifies the per-VM pseudo-random streams.
 	Seed uint32
+	// Shards > 1 runs the simulated cores on that many host goroutines
+	// through the epoch-barrier engine (nova.RunParallel). The checksum is
+	// byte-identical to the sequential engine's on the same spec; 0/1 keeps
+	// the single-goroutine run loop.
+	Shards int
 
 	// CacheBytes overrides the bitstream cache budget (0 = default).
 	CacheBytes uint32
@@ -209,7 +215,7 @@ func (s *System) addVM(idx int, vm VM) {
 		}
 		irq := s.Kernel.BindPLIRQ(line, pd)
 		stormIRQs = append(stormIRQs, irq)
-		s.startStorm(line, simclock.FromMicros(vm.StormPeriodUs), vm.StormBurst)
+		s.startStorm(pd, line, simclock.FromMicros(vm.StormPeriodUs), vm.StormBurst)
 	}
 
 	tick := s.Spec.TickMs
@@ -232,7 +238,10 @@ func (s *System) addVM(idx int, vm VM) {
 // startStorm arms the recurring pulse train for one synthetic device
 // line: every period the line asserts burst times, 2 µs apart, so the
 // trailing assertions arrive while the leading one is still in service.
-func (s *System) startStorm(line int, period simclock.Cycles, burst int) {
+// The train rides the owning VM's core clock: the line targets that core,
+// so in a parallel run the raise must execute on the goroutine that owns
+// the core's interrupt state.
+func (s *System) startStorm(pd *nova.PD, line int, period simclock.Cycles, burst int) {
 	if period <= 0 {
 		period = simclock.FromMicros(200)
 	}
@@ -248,19 +257,20 @@ func (s *System) startStorm(line int, period simclock.Cycles, burst int) {
 	if span := simclock.Cycles(burst-1) * gap; period > span+gap {
 		rest = period - span
 	}
+	clk := pd.Core.Clock
 	var pulse func(simclock.Cycles)
 	shot := 0
 	pulse = func(simclock.Cycles) {
 		s.Kernel.RaisePL(line)
-		s.stormPulses++
+		atomic.AddUint64(&s.stormPulses, 1)
 		shot++
 		if shot%burst == 0 {
-			s.Kernel.Clock.After(rest, pulse)
+			clk.After(rest, pulse)
 		} else {
-			s.Kernel.Clock.After(gap, pulse)
+			clk.After(gap, pulse)
 		}
 	}
-	s.Kernel.Clock.After(period, pulse)
+	clk.After(period, pulse)
 }
 
 // Result is one scenario's outcome: the replay checksum plus the headline
@@ -298,11 +308,18 @@ type Result struct {
 }
 
 // Run executes the scenario for its simulated budget, computes the state
-// checksum, and tears the system down.
+// checksum, and tears the system down. Shards > 1 selects the parallel
+// epoch-barrier engine; the result (and checksum) is byte-identical
+// either way.
 func (s *System) Run() Result {
 	t0 := time.Now()
 	k := s.Kernel
-	k.RunFor(simclock.FromMillis(s.Spec.RunMs))
+	d := simclock.FromMillis(s.Spec.RunMs)
+	if s.Spec.Shards > 1 {
+		k.RunParallelFor(d, s.Spec.Shards)
+	} else {
+		k.RunFor(d)
+	}
 	res := s.collect()
 	res.WallMs = float64(time.Since(t0).Microseconds()) / 1000
 	k.Shutdown()
@@ -317,7 +334,7 @@ func (s *System) collect() Result {
 		Cores:       len(k.Cores),
 		VMs:         len(s.probes),
 		SimMs:       k.Clock.Now().Millis(),
-		StormPulses: s.stormPulses,
+		StormPulses: atomic.LoadUint64(&s.stormPulses),
 	}
 	d := newDigest()
 	d.addf("scenario %s seed %d clock %d", s.Spec.Name, s.Spec.Seed, k.Clock.Now())
