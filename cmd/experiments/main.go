@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/scenario"
@@ -40,6 +42,8 @@ func main() {
 		scenName   = flag.String("scenario-name", "", "run a single named scenario instead of the whole suite")
 		scenShort  = flag.Bool("scenario-short", false, "reduced-horizon scenario run (CI smoke)")
 		scenOut    = flag.String("scenario-out", "", "also write the per-scenario checksum summary to this file")
+		traceOn    = flag.Bool("trace", false, "enable kernel event tracing on the scenario runs (checksums are unchanged; implies -scenario)")
+		traceOut   = flag.String("trace-out", "", "write each traced scenario's Chrome trace_event JSON here (load in chrome://tracing or Perfetto; with several scenarios the name gains a -<scenario> suffix; implies -trace)")
 		shards     = flag.Int("shards", 0, "run each scenario through the epoch-barrier parallel engine on this many host goroutines (0/1 = sequential reference loop)")
 		cacheKB    = flag.Uint("cachekb", 0, "override the bitstream cache budget in KB (0 = default 1024)")
 		guests     = flag.Int("guests", 4, "maximum number of guest VMs")
@@ -50,7 +54,10 @@ func main() {
 		seed       = flag.Uint("seed", 1, "task-selection seed")
 	)
 	flag.Parse()
-	if *scenName != "" || *scenOut != "" || *scenShort {
+	if *traceOut != "" {
+		*traceOn = true
+	}
+	if *scenName != "" || *scenOut != "" || *scenShort || *traceOn {
 		*scen = true // the sub-flags imply the scenario run
 	}
 	all := !*table3 && !*fig9 && !*footprint && !*dualcore && !*reconfig && !*bench && !*scen
@@ -70,8 +77,10 @@ func main() {
 		}
 		for i := range specs {
 			specs[i].Shards = *shards
+			specs[i].Trace = *traceOn
 		}
-		fmt.Printf("running %d stress scenarios in parallel (short=%v, shards=%d)...\n", len(specs), *scenShort, *shards)
+		fmt.Printf("running %d stress scenarios in parallel (short=%v, shards=%d, trace=%v)...\n",
+			len(specs), *scenShort, *shards, *traceOn)
 		results := scenario.RunSuite(specs)
 		table := scenario.SummaryTable(results)
 		fmt.Println(table)
@@ -81,6 +90,28 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *scenOut)
+		}
+		if *traceOut != "" {
+			for _, r := range results {
+				if r.Trace == nil {
+					continue
+				}
+				path := *traceOut
+				if len(results) > 1 {
+					ext := filepath.Ext(path)
+					path = strings.TrimSuffix(path, ext) + "-" + r.Name + ext
+				}
+				raw, err := r.Trace.ChromeJSON()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "exporting %s trace: %v\n", r.Name, err)
+					os.Exit(1)
+				}
+				if err := os.WriteFile(path, raw, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s (%d events, %d dropped)\n", path, r.TraceEvents, r.TraceDrops)
+			}
 		}
 	}
 

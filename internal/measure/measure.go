@@ -24,6 +24,9 @@ type Probe struct {
 
 	// Keep retains every sample for percentile reporting (off by
 	// default: the Table III probes only need the running aggregates).
+	// Set it before the first Add: samples recorded while Keep was off
+	// are folded into the aggregates only and cannot be recovered, so a
+	// late Keep skews every percentile toward the tail that followed it.
 	Keep    bool
 	samples []simclock.Cycles
 }
@@ -57,8 +60,10 @@ func (p *Probe) MeanMicros() float64 {
 }
 
 // Percentile returns the q-th percentile (0..100, nearest-rank) of the
-// retained samples. It requires Keep; with no retained samples it
-// returns 0.
+// retained samples: the smallest sample with at least q% of the set at
+// or below it. q <= 0 (and NaN) return the minimum, q >= 100 the
+// maximum; a single-sample probe returns that sample for every q. It
+// requires Keep; with no retained samples it returns 0.
 func (p *Probe) Percentile(q float64) simclock.Cycles {
 	if len(p.samples) == 0 {
 		return 0
@@ -66,17 +71,18 @@ func (p *Probe) Percentile(q float64) simclock.Cycles {
 	sorted := make([]simclock.Cycles, len(p.samples))
 	copy(sorted, p.samples)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	if q <= 0 {
+	if q <= 0 || math.IsNaN(q) {
 		return sorted[0]
 	}
 	if q >= 100 {
 		return sorted[len(sorted)-1]
 	}
-	// Nearest-rank: smallest sample with at least q% of the set at or
-	// below it.
 	rank := int(math.Ceil(q / 100 * float64(len(sorted))))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
 	return sorted[rank-1]
 }
@@ -189,15 +195,31 @@ func (s *Set) Names() []string {
 	return out
 }
 
-// String renders a compact summary table.
+// String renders a compact summary table: probes then counters, each in
+// sorted-name order, so two dumps of the same state are byte-identical.
+// The whole render happens under one lock — the previous version re-read
+// the maps unlocked between the (locking) name listings, which both raced
+// concurrent writers and could observe a probe added mid-render.
 func (s *Set) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	probeNames := make([]string, 0, len(s.probes))
+	for n := range s.probes {
+		probeNames = append(probeNames, n)
+	}
+	sort.Strings(probeNames)
+	counterNames := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		counterNames = append(counterNames, n)
+	}
+	sort.Strings(counterNames)
 	var b strings.Builder
-	for _, n := range s.Names() {
+	for _, n := range probeNames {
 		p := s.probes[n]
 		fmt.Fprintf(&b, "%-16s n=%-6d mean=%8.3fus min=%8.3fus max=%8.3fus\n",
 			n, p.Count, p.MeanMicros(), p.Min.Micros(), p.Max.Micros())
 	}
-	for _, n := range s.CounterNames() {
+	for _, n := range counterNames {
 		fmt.Fprintf(&b, "%-28s %g\n", n, s.counters[n])
 	}
 	return b.String()

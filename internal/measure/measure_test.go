@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -57,6 +58,42 @@ func TestPercentileNearestRank(t *testing.T) {
 	for _, c := range cases {
 		if got := p.Percentile(c.q); got != c.want {
 			t.Errorf("P%.0f = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+// Boundary conditions of the nearest-rank definition: out-of-range and
+// non-finite q values clamp instead of indexing out of bounds, and a
+// single-sample probe answers that sample for every q.
+func TestPercentileBoundaries(t *testing.T) {
+	single := Probe{Keep: true}
+	single.Add(42)
+	pair := Probe{Keep: true}
+	pair.Add(10)
+	pair.Add(20)
+	cases := []struct {
+		name string
+		p    *Probe
+		q    float64
+		want simclock.Cycles
+	}{
+		{"single q=0", &single, 0, 42},
+		{"single q=50", &single, 50, 42},
+		{"single q=100", &single, 100, 42},
+		{"single q<0", &single, -5, 42},
+		{"single q>100", &single, 250, 42},
+		{"single NaN", &single, math.NaN(), 42},
+		{"pair q=0", &pair, 0, 10},
+		{"pair q=50", &pair, 50, 10},
+		{"pair q=50.0001", &pair, 50.0001, 20},
+		{"pair q=100", &pair, 100, 20},
+		{"pair q<0", &pair, -1, 10},
+		{"pair q>100", &pair, 101, 20},
+		{"pair NaN", &pair, math.NaN(), 10},
+	}
+	for _, c := range cases {
+		if got := c.p.Percentile(c.q); got != c.want {
+			t.Errorf("%s: got %d, want %d", c.name, got, c.want)
 		}
 	}
 }
@@ -130,5 +167,55 @@ func TestSetString(t *testing.T) {
 	}
 	if !strings.Contains(out, "1.000us") {
 		t.Errorf("summary missing converted mean:\n%s", out)
+	}
+}
+
+// String and CounterNames must render in sorted-name order regardless of
+// insertion order: reports from two runs of the same workload have to
+// diff cleanly.
+func TestSetRenderingOrderStable(t *testing.T) {
+	build := func(order []string) (*Set, string) {
+		s := NewSet()
+		for i, n := range order {
+			s.Add("probe_"+n, simclock.Cycles(100*(i+1)))
+			s.SetCounter("counter_"+n, float64(i))
+		}
+		return s, s.String()
+	}
+	a, aStr := build([]string{"z", "m", "a"})
+	_, bStr := build([]string{"a", "z", "m"})
+	if aStr == "" {
+		t.Fatal("empty rendering")
+	}
+	// Same contents, different insertion order: identical render apart
+	// from the per-probe values, so compare only the line ordering.
+	lineNames := func(out string) []string {
+		var names []string
+		for _, l := range strings.Split(out, "\n") {
+			if f := strings.Fields(l); len(f) > 0 {
+				names = append(names, f[0])
+			}
+		}
+		return names
+	}
+	an, bn := lineNames(aStr), lineNames(bStr)
+	if len(an) != len(bn) {
+		t.Fatalf("renderings differ in size: %v vs %v", an, bn)
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatalf("rendering order depends on insertion order: %v vs %v", an, bn)
+		}
+	}
+	for i := 1; i < len(an); i++ {
+		if strings.HasPrefix(an[i-1], "probe_") == strings.HasPrefix(an[i], "probe_") && an[i-1] > an[i] {
+			t.Fatalf("names not sorted within section: %v", an)
+		}
+	}
+	cn := a.CounterNames()
+	for i := 1; i < len(cn); i++ {
+		if cn[i-1] > cn[i] {
+			t.Fatalf("CounterNames not sorted: %v", cn)
+		}
 	}
 }

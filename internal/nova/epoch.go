@@ -6,6 +6,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/measure"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // DefaultEpoch is the conservative epoch length of the parallel run loop:
@@ -58,11 +59,18 @@ func (k *Kernel) wakeFrom(c *CoreCtx, pd *PD) {
 // core's scheduler ring, vGIC or GIC bank — but never advance a clock
 // (costs were charged on the posting core).
 func (k *Kernel) drainCommits() {
+	before := k.committer.Commits
 	k.inCommit = true
 	for k.committer.Pending() {
 		k.committer.Commit()
 	}
 	k.inCommit = false
+	if fired := k.committer.Commits - before; fired > 0 && k.Tracer != nil {
+		// One event per non-empty barrier on core 0's ring (the commit
+		// replay is single-threaded, so writing ring 0 here is safe).
+		k.Tracer.Core(0).Emit(k.Cores[0].Clock.Now(),
+			trace.KindEpochCommit, 0, k.Epochs, fired)
+	}
 	k.refreshPRRSnapshot()
 }
 

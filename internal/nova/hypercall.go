@@ -11,6 +11,7 @@ import (
 	"repro/internal/pl"
 	"repro/internal/reconfig"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // HwRequestKind distinguishes allocation requests from releases.
@@ -95,7 +96,12 @@ func (k *Kernel) onSWI(c *CoreCtx, sel int, args [4]uint32) uint32 {
 		c.kctx.Exec(p.cost)
 		ret = p.fn(k, c, pd, args)
 	}
+	d := since(c.Clock.Now(), t0)
 	k.Probes.Add(measure.PhaseHypercall, c.Clock.Now()-t0)
+	if k.Tracer != nil {
+		k.Tracer.Core(c.ID).EmitSpan(t0, d, trace.KindHypercall, 0, uint64(sel), uint64(ret))
+		k.trHypercall.Observe(d)
+	}
 	return ret
 }
 
@@ -198,6 +204,7 @@ func (k *Kernel) hcHwTaskRequest(c *CoreCtx, pd *PD, kind HwRequestKind, args [4
 			return StatusInval // must register a data section first
 		}
 	}
+	t0 := c.Clock.Now()
 	if len(k.Cores) == 1 || pd.Core == k.hwSvc.Core {
 		// Same-core request: the queue lives on the manager's core, so the
 		// caller may mutate it directly.
@@ -213,6 +220,10 @@ func (k *Kernel) hcHwTaskRequest(c *CoreCtx, pd *PD, kind HwRequestKind, args [4
 		k.hwQueue = append(k.hwQueue, req)
 		k.hwByID[req.ID] = req
 		c.kctx.Touch(KernelDataVA+0x9000+(req.ID%64)*16, true) // queue slot
+		if k.Tracer != nil {
+			k.Tracer.Core(c.ID).Emit(c.Clock.Now(), trace.KindHwReqSubmit,
+				uint64(req.ID), uint64(req.TaskID), uint64(pd.ID))
+		}
 
 		// Arm the Table III "HW Manager entry" probe: from this hypercall
 		// (exception entry) to the manager fetching the request. When several
@@ -226,6 +237,7 @@ func (k *Kernel) hcHwTaskRequest(c *CoreCtx, pd *PD, kind HwRequestKind, args [4
 		k.wake(k.hwSvc)
 		pd.Env.block() // resumes when the manager calls HcMgrComplete
 		delete(k.hwByID, req.ID)
+		k.traceHwReq(c, t0, req)
 		return req.reply
 	}
 
@@ -251,6 +263,12 @@ func (k *Kernel) hcHwTaskRequest(c *CoreCtx, pd *PD, kind HwRequestKind, args [4
 		req.ID = k.nextReqID
 		k.hwQueue = append(k.hwQueue, req)
 		k.hwByID[req.ID] = req
+		if k.Tracer != nil {
+			// The ID is drawn here, inside the barrier commit; emit the
+			// submit on the manager core's ring (commits own every ring).
+			k.Tracer.Core(k.hwSvc.Core.ID).Emit(k.hwSvc.Core.Clock.Now(),
+				trace.KindHwReqSubmit, uint64(req.ID), uint64(req.TaskID), uint64(pd.ID))
+		}
 		if !k.mgrEntryArmed {
 			k.mgrEntryFrom = k.hwSvc.Core.Clock.Now()
 			k.mgrEntryArmed = true
@@ -261,6 +279,7 @@ func (k *Kernel) hcHwTaskRequest(c *CoreCtx, pd *PD, kind HwRequestKind, args [4
 	// The manager is done with the descriptor by the time the completion
 	// wake reaches us; retire the ID at the next barrier (IDs never reuse).
 	k.post(c, func() { delete(k.hwByID, req.ID) })
+	k.traceHwReq(c, t0, req)
 	return req.reply
 }
 
@@ -348,7 +367,12 @@ func (k *Kernel) hcPortalCall(c *CoreCtx, pd *PD, sel int, word uint32) uint32 {
 		})
 	}
 	pd.Env.block() // resumes when the callee replies
-	k.Probes.Add(measure.PhaseIPCCall, since(c.Clock.Now(), t0))
+	d := since(c.Clock.Now(), t0)
+	k.Probes.Add(measure.PhaseIPCCall, d)
+	if k.Tracer != nil {
+		k.Tracer.Core(c.ID).EmitSpan(t0, d, trace.KindIPCCall, 0, uint64(pd.ID), uint64(to.ID))
+		k.trIPC.Observe(d)
+	}
 	return pd.ipcReply
 }
 
@@ -459,6 +483,9 @@ func (k *Kernel) mgrNextRequest(c *CoreCtx, pd *PD) uint32 {
 	req := k.hwQueue[0]
 	k.hwQueue = k.hwQueue[1:]
 	c.kctx.Touch(KernelDataVA+0x9000+(req.ID%64)*16, false)
+	if k.Tracer != nil {
+		k.Tracer.Core(c.ID).Emit(c.Clock.Now(), trace.KindHwReqFetch, uint64(req.ID), uint64(req.TaskID), 0)
+	}
 	if k.mgrEntryArmed {
 		k.Probes.Add(measure.PhaseMgrEntry, since(c.Clock.Now(), k.mgrEntryFrom))
 		k.mgrEntryArmed = false
@@ -482,6 +509,9 @@ func (k *Kernel) mgrComplete(c *CoreCtx, pd *PD, reqID, status uint32) uint32 {
 	}
 	req.reply = status
 	req.replied = true
+	if k.Tracer != nil {
+		k.Tracer.Core(c.ID).Emit(c.Clock.Now(), trace.KindHwReqComplete, uint64(reqID), uint64(status), 0)
+	}
 	if k.mgrExecArmed {
 		k.Probes.Add(measure.PhaseMgrExec, c.Clock.Now()-k.mgrExecFrom)
 		k.mgrExecArmed = false
@@ -704,6 +734,7 @@ func (k *Kernel) mgrPCAPStart(c *CoreCtx, reqID, srcOff, length uint32, prr int,
 		Target:   prr,
 		Priority: pd.Priority,
 		Owner:    pd,
+		Flow:     uint64(reqID),
 		OnStart: func(*reconfig.Request) {
 			if len(k.Cores) == 1 {
 				k.GIC.SetTarget(gic.PCAPIRQ, pd.Core.ID)
@@ -726,8 +757,8 @@ func (k *Kernel) mgrPCAPStart(c *CoreCtx, reqID, srcOff, length uint32, prr int,
 				})
 			}
 		},
-		OnDone: func(_ *reconfig.Request, ok bool) {
-			k.pcapDone = append(k.pcapDone, pd)
+		OnDone: func(r *reconfig.Request, ok bool) {
+			k.pcapDone = append(k.pcapDone, pcapOwner{pd: pd, flow: r.Flow})
 		},
 	})
 	c.Clock.Advance(2 * CostDeviceAccess) // portal bookkeeping

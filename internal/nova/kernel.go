@@ -17,7 +17,16 @@ import (
 	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/timer"
+	"repro/internal/trace"
 )
+
+// pcapOwner is one completed PCAP transfer awaiting completion-IRQ
+// delivery: the client PD whose reconfiguration finished and the trace
+// flow id of the request (0 when untraced).
+type pcapOwner struct {
+	pd   *PD
+	flow uint64
+}
 
 // CostDeviceAccess is the cycle cost of one strongly-ordered device
 // register access (GIC, devcfg, PRR controller) — uncached, so constant.
@@ -74,6 +83,19 @@ type Kernel struct {
 	Sched  sched.Policy
 	Probes *measure.Set
 
+	// Tracer is the structured-event tracing layer (nil = disabled, the
+	// default; EnableTrace switches it on). Emission never touches
+	// checksummed state, so traced and untraced runs produce identical
+	// scenario digests.
+	Tracer *trace.Tracer
+
+	// Cached tracing instruments (valid iff Tracer != nil).
+	trHypercall *trace.Histogram
+	trIPC       *trace.Histogram
+	trSwitch    *trace.Histogram
+	trWakes     *trace.Counter
+	trInjects   *trace.Counter
+
 	PDs []*PD
 
 	// SMPSlice is retained for API compatibility with the old interleaved
@@ -126,9 +148,11 @@ type Kernel struct {
 	// PL interrupt routing (§IV-D). pcapDone lists the owners of PCAP
 	// transfers that completed since the last interrupt was handled — with
 	// the request queue, back-to-back completions for different VMs can
-	// share one physical interrupt.
+	// share one physical interrupt. Each entry keeps the trace flow id of
+	// the reconfiguration request it closes, so the completion IRQ lands
+	// in the same causal chain as the hypercall that started it.
 	plirqOwner [gic.NumPLIRQs]*PD
-	pcapDone   []*PD
+	pcapDone   []pcapOwner
 
 	// Measurement stamps for the Table III phases.
 	mgrEntryFrom  simclock.Cycles
@@ -278,6 +302,9 @@ func (k *Kernel) AttachFabric(f *pl.Fabric) {
 	k.Fabric = f
 	k.Reconfig = reconfig.New(k.Clock, f, k.Bus, BitstreamStorePA(), reconfig.DefaultConfig())
 	k.Reconfig.Probes = k.Probes
+	if k.Tracer != nil {
+		k.Reconfig.Trace = k.Tracer.Core(k.reconfigCore().ID)
+	}
 	// Mint one hardware-task slot object per PRR into the root space.
 	if len(f.PRRs) > maxPRRSlots {
 		panic(fmt.Sprintf("nova: %d PRRs exceed the %d-selector hw-slot window", len(f.PRRs), maxPRRSlots))
@@ -310,6 +337,11 @@ func (k *Kernel) bindManagerClocks() {
 	}
 	if k.Reconfig != nil {
 		k.Reconfig.Clock = clk
+		if k.Tracer != nil {
+			// The pipeline's events fire on the manager core's goroutine
+			// now; move its ring along with its clock.
+			k.Reconfig.Trace = k.Tracer.Core(k.hwSvc.Core.ID)
+		}
 	}
 }
 
@@ -413,6 +445,9 @@ func (k *Kernel) CreatePD(cfg PDConfig) *PD {
 	go k.guestWrapper(pd)
 
 	k.PDs = append(k.PDs, pd)
+	if k.Tracer != nil {
+		k.traceVGIC(pd)
+	}
 	if !cfg.StartSuspended {
 		k.Sched.Enqueue(&pd.node)
 	}
@@ -726,7 +761,16 @@ func (k *Kernel) worldSwitch(c *CoreCtx, next *PD) {
 	c.Current = next
 	k.armVirtualTimer(next)
 	next.Switches++
-	k.Probes.Add(measure.PhaseVMSwitch, c.Clock.Now()-t0)
+	d := c.Clock.Now() - t0
+	k.Probes.Add(measure.PhaseVMSwitch, d)
+	if k.Tracer != nil {
+		prevID := uint64(0) // 0 = idle; PD ids are shifted by one
+		if prev != nil {
+			prevID = uint64(prev.ID) + 1
+		}
+		k.Tracer.Core(c.ID).EmitSpan(t0, d, trace.KindVMSwitch, 0, prevID, uint64(next.ID)+1)
+		k.trSwitch.Observe(d)
+	}
 }
 
 // onUndef handles undefined-instruction traps: privileged-op emulation and
@@ -811,18 +855,20 @@ func (k *Kernel) onIRQ(c *CoreCtx) {
 		// owners. The line is pinned to the manager's core; completions for
 		// clients homed elsewhere defer their vGIC injection to the barrier
 		// (the owning core's goroutine must not be written mid-epoch).
-		for _, pd := range k.pcapDone {
-			pd := pd
-			if len(k.Cores) == 1 || pd.Core == c {
-				if pd.VGIC.Inject(id) {
-					k.wakeIfIdle(pd)
-					k.maybePreemptFor(pd)
+		for _, own := range k.pcapDone {
+			own := own
+			if len(k.Cores) == 1 || own.pd.Core == c {
+				k.traceCompletionIRQ(own, id)
+				if own.pd.VGIC.Inject(id) {
+					k.wakeIfIdle(own.pd)
+					k.maybePreemptFor(own.pd)
 				}
 			} else {
 				k.post(c, func() {
-					if pd.VGIC.Inject(id) {
-						k.wakeIfIdle(pd)
-						k.maybePreemptFor(pd)
+					k.traceCompletionIRQ(own, id)
+					if own.pd.VGIC.Inject(id) {
+						k.wakeIfIdle(own.pd)
+						k.maybePreemptFor(own.pd)
 					}
 				})
 			}

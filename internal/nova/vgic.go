@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/gic"
+	"repro/internal/trace"
 )
 
 // VGIC is one virtual machine's virtual interrupt controller (paper
@@ -39,6 +40,13 @@ type VGIC struct {
 	// in service and were latched for redelivery at EOI — the
 	// level-triggered re-raise a storm produces.
 	Relatched uint64
+
+	// Trace, when set, receives every vGIC state transition
+	// (KindVGICInject / KindVGICEOI / KindVGICRelatch). The kernel's
+	// tracing layer points this at the owning core's event ring; it runs
+	// synchronously on whatever goroutine performed the operation and
+	// must not mutate vGIC state.
+	Trace func(kind trace.Kind, irq int)
 }
 
 type virq struct {
@@ -148,12 +156,18 @@ func (v *VGIC) Inject(irq int) bool {
 		if !e.rePending {
 			e.rePending = true
 			v.Relatched++
+			if v.Trace != nil {
+				v.Trace(trace.KindVGICRelatch, irq)
+			}
 		}
 		return false
 	}
 	e.inService = true
 	v.pending = append(v.pending, irq)
 	v.Injected++
+	if v.Trace != nil {
+		v.Trace(trace.KindVGICInject, irq)
+	}
 	return true
 }
 
@@ -166,11 +180,17 @@ func (v *VGIC) EOI(irq int) bool {
 		return false
 	}
 	e.inService = false
+	if v.Trace != nil {
+		v.Trace(trace.KindVGICEOI, irq)
+	}
 	if e.rePending && e.enabled {
 		e.rePending = false
 		e.inService = true
 		v.pending = append(v.pending, irq)
 		v.Injected++
+		if v.Trace != nil {
+			v.Trace(trace.KindVGICInject, irq)
+		}
 	}
 	return true
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/physmem"
 	"repro/internal/pl"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // SD-card fetch model: a class-10 card over the Zynq SDIO sustains on the
@@ -83,6 +84,9 @@ type Request struct {
 	// Owner is an opaque client cookie (the kernel stores the PD) used
 	// by PendingFor.
 	Owner any
+	// Flow is the trace flow id stitching this request into its causal
+	// chain (the hw-task request id; 0 when untraced).
+	Flow uint64
 
 	// OnStart fires when the PCAP transfer for this request is about to
 	// kick (the kernel routes the completion IRQ to the owner here).
@@ -110,6 +114,9 @@ type fill struct {
 	entry       *CacheEntry
 	waiters     []*Request
 	speculative bool
+	// flow is the trace flow id of the demand request that started the
+	// fill (0 for speculative fills).
+	flow uint64
 }
 
 // Stats counts pipeline-level outcomes (cache/queue/prefetch keep their
@@ -140,6 +147,12 @@ type Pipeline struct {
 	// Probes, when set, receives the reconfiguration latency samples
 	// (PhaseReconfigCold / PhaseReconfigWarm / PhaseReconfigQWait).
 	Probes *measure.Set
+
+	// Trace, when set, receives the pipeline's journey events (submit,
+	// fill, queue, PCAP start/done). The kernel points it at the ring of
+	// the core whose goroutine runs the pipeline — the same core Clock
+	// belongs to.
+	Trace *trace.Ring
 
 	Stats Stats
 
@@ -190,6 +203,7 @@ func (p *Pipeline) Submit(r *Request) {
 	switch {
 	case e != nil && !e.loading:
 		// Warm hit: the image is staged; skip straight to the PCAP leg.
+		p.Trace.Emit(p.Clock.Now(), trace.KindReconfigSubmit, r.Flow, uint64(r.Key), trace.ReconfigWarm)
 		r.warm = true
 		if e.speculative {
 			e.speculative = false
@@ -203,6 +217,7 @@ func (p *Pipeline) Submit(r *Request) {
 	case e != nil:
 		// Coalesced miss: a fill for this image is already in flight —
 		// join it instead of re-reading the card.
+		p.Trace.Emit(p.Clock.Now(), trace.KindReconfigSubmit, r.Flow, uint64(r.Key), trace.ReconfigCoalesced)
 		p.Cache.Pin(e)
 		r.pinned = e
 		f := p.fillFor(r.Key)
@@ -224,12 +239,13 @@ func (p *Pipeline) Submit(r *Request) {
 		// Cold miss: reserve a cache slot (may evict LRU images) and
 		// read the card. A nil entry means bypass — the image could not
 		// be cached but the fetch still has to happen.
+		p.Trace.Emit(p.Clock.Now(), trace.KindReconfigSubmit, r.Flow, uint64(r.Key), trace.ReconfigColdMiss)
 		e = p.Cache.Insert(r.Key, r.Len, false)
 		if e != nil {
 			p.Cache.Pin(e)
 			r.pinned = e
 		}
-		p.enqueueFill(&fill{key: r.Key, length: r.Len, entry: e, waiters: []*Request{r}})
+		p.enqueueFill(&fill{key: r.Key, length: r.Len, entry: e, waiters: []*Request{r}, flow: r.Flow})
 	}
 }
 
@@ -241,6 +257,7 @@ func (p *Pipeline) ready(r *Request) {
 		p.start(r)
 		return
 	}
+	p.Trace.Emit(p.Clock.Now(), trace.KindReconfigQueued, r.Flow, uint64(r.Key), 0)
 	p.Queue.Push(r)
 	p.Stats.Queued++
 }
@@ -260,6 +277,7 @@ func (p *Pipeline) start(r *Request) {
 	_ = p.Bus.Write32(dc+pl.PCAPRegTarget, uint32(r.Target))
 	_ = p.Bus.Write32(dc+pl.PCAPRegCtrl, 1)
 	p.Clock.Advance(pcapProgramCycles)
+	p.Trace.Emit(p.Clock.Now(), trace.KindPCAPStart, r.Flow, uint64(r.Target), uint64(r.Len))
 }
 
 // pcapComplete is the device completion hook: account the finished
@@ -271,6 +289,11 @@ func (p *Pipeline) pcapComplete(target int, ok bool) {
 		return // a transfer the pipeline did not launch (direct device use)
 	}
 	p.active = nil
+	okBit := uint64(0)
+	if ok {
+		okBit = 1
+	}
+	p.Trace.Emit(p.Clock.Now(), trace.KindPCAPDone, r.Flow, uint64(r.Target), okBit)
 	if r.pinned != nil {
 		p.Cache.Unpin(r.pinned)
 		r.pinned = nil
@@ -347,6 +370,7 @@ func (p *Pipeline) enqueueFill(f *fill) {
 func (p *Pipeline) runFill() {
 	f := p.fills[0]
 	p.fillRunning = true
+	p.Trace.Emit(p.Clock.Now(), trace.KindFillStart, f.flow, uint64(f.key), uint64(f.length))
 	p.Clock.After(SDFetchCycles(int(f.length)), func(simclock.Cycles) {
 		p.fillDone(f)
 	})
@@ -355,6 +379,7 @@ func (p *Pipeline) runFill() {
 func (p *Pipeline) fillDone(f *fill) {
 	p.fills = p.fills[1:]
 	p.fillRunning = false
+	p.Trace.Emit(p.Clock.Now(), trace.KindFillDone, f.flow, uint64(f.key), 0)
 	if f.entry != nil {
 		p.Cache.FillDone(f.entry)
 	}

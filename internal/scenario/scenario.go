@@ -24,6 +24,7 @@ import (
 	"repro/internal/pl"
 	"repro/internal/sched"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 	"repro/internal/ucos"
 )
 
@@ -95,6 +96,13 @@ type Spec struct {
 	// meaningful under "partitioned").
 	ServiceCore sched.CPUMask
 
+	// Trace enables the kernel's structured-event tracing (per-core
+	// bounded rings + metrics). Tracing never touches checksummed state:
+	// a traced run's checksum is byte-identical to an untraced one.
+	Trace bool
+	// TraceCapacity overrides the per-core ring capacity (0 = default).
+	TraceCapacity int
+
 	VMs []VM
 }
 
@@ -151,6 +159,9 @@ func Build(spec Spec) *System {
 		panic(fmt.Sprintf("scenario %q: %v", spec.Name, err))
 	}
 	k.Sched = pol
+	if spec.Trace {
+		k.EnableTrace(spec.TraceCapacity)
+	}
 
 	caps := hwtask.PaperPRRCapacities()
 	fabric := pl.NewFabric(k.Clock, k.Bus, k.GIC, caps)
@@ -305,6 +316,12 @@ type Result struct {
 	// Detail is the exact state dump the checksum is computed over —
 	// diffing two runs' details localizes a replay divergence.
 	Detail string
+
+	// Tracing byproducts. NOT part of the checksum or Detail: the rings
+	// observe the run, they are not simulated state.
+	TraceEvents uint64        // events emitted across all cores (incl. dropped)
+	TraceDrops  uint64        // events evicted from full rings
+	Trace       *trace.Tracer // nil when the spec did not enable tracing
 }
 
 // Run executes the scenario for its simulated budget, computes the state
@@ -314,6 +331,18 @@ type Result struct {
 func (s *System) Run() Result {
 	t0 := time.Now()
 	k := s.Kernel
+	// Flight recorder: a panic mid-run re-raises with the tail of every
+	// core's event ring attached, so the failure message carries the last
+	// things the kernel did.
+	defer func() {
+		if r := recover(); r != nil {
+			if k.Tracer != nil {
+				panic(fmt.Sprintf("%v\n\nflight recorder (last events per core):\n%s",
+					r, k.Tracer.FlightDump(256)))
+			}
+			panic(r)
+		}
+	}()
 	d := simclock.FromMillis(s.Spec.RunMs)
 	if s.Spec.Shards > 1 {
 		k.RunParallelFor(d, s.Spec.Shards)
@@ -396,6 +425,15 @@ func (s *System) collect() Result {
 	}
 	console := k.ConsoleString()
 	d.addf("console %d %d", fnvString(console), len(console))
+
+	// Trace byproducts ride only on the Result struct — deliberately NOT
+	// written into the digest: the checksum must not know whether the run
+	// was traced.
+	if k.Tracer != nil {
+		res.Trace = k.Tracer
+		res.TraceEvents = k.Tracer.Total()
+		res.TraceDrops = k.Tracer.Drops()
+	}
 
 	res.Detail = d.text()
 	res.Checksum = d.sum()

@@ -155,16 +155,19 @@ func RunSuite(specs []Spec) []Result {
 }
 
 // SummaryTable renders the suite results as the per-scenario checksum
-// table (the CI artifact and the -scenario console report).
+// table (the CI artifact and the -scenario console report). The events
+// and drops columns report the tracing byproducts (0 when untraced);
+// they sit outside the checksum.
 func SummaryTable(results []Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scenario suite: %d scenarios\n", len(results))
-	fmt.Fprintf(&b, "%-20s %5s %4s %8s %9s %8s %8s %9s %8s %7s  %-16s\n",
-		"scenario", "cores", "vms", "sim(ms)", "injected", "relatch", "hwruns", "reconfigs", "storm", "wall(ms)", "checksum")
+	fmt.Fprintf(&b, "%-20s %5s %4s %8s %9s %8s %8s %9s %8s %8s %6s %7s  %-16s\n",
+		"scenario", "cores", "vms", "sim(ms)", "injected", "relatch", "hwruns", "reconfigs", "storm", "events", "drops", "wall(ms)", "checksum")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-20s %5d %4d %8.1f %9d %8d %8d %9d %8d %7.0f  %016x\n",
+		fmt.Fprintf(&b, "%-20s %5d %4d %8.1f %9d %8d %8d %9d %8d %8d %6d %7.0f  %016x\n",
 			r.Name, r.Cores, r.VMs, r.SimMs, r.Injected, r.Relatched,
-			r.Requests, r.Reconfigs, r.StormHandled, r.WallMs, r.Checksum)
+			r.Requests, r.Reconfigs, r.StormHandled, r.TraceEvents, r.TraceDrops,
+			r.WallMs, r.Checksum)
 	}
 	return b.String()
 }

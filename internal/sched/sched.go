@@ -95,6 +95,28 @@ func (n *Node) CPU() int { return n.cpu }
 // Queued reports whether the node is on a runqueue.
 func (n *Node) Queued() bool { return n.queued }
 
+// Observer receives runqueue transitions — the hook the kernel's tracing
+// layer uses to record scheduling decisions. Callbacks fire only on real
+// state changes (an idempotent re-Enqueue of a queued node is silent) and
+// run synchronously on whatever goroutine performed the operation, which
+// under the kernel's discipline is the node's home core or the
+// single-threaded epoch commit. Observers must not call back into the
+// policy.
+type Observer interface {
+	// Enqueued fires when a node becomes runnable.
+	Enqueued(n *Node)
+	// Dequeued fires when a node leaves its runqueue.
+	Dequeued(n *Node)
+	// Rotated fires when a CPU's priority ring advances after a quantum.
+	Rotated(cpu, prio int)
+}
+
+// Observable is implemented by policies that can report runqueue
+// transitions (both built-in policies, via multiQueue).
+type Observable interface {
+	SetObserver(o Observer)
+}
+
 // Policy is the scheduler interface the kernel depends on. All methods
 // are single-threaded (the platform model is one event loop).
 type Policy interface {
@@ -221,6 +243,7 @@ type multiQueue struct {
 	queues  []runqueue
 	placed  []int // entities homed on each CPU (placement load)
 	quantum simclock.Cycles
+	obs     Observer
 }
 
 func newMultiQueue(ncpu int, quantum simclock.Cycles) multiQueue {
@@ -237,11 +260,31 @@ func newMultiQueue(ncpu int, quantum simclock.Cycles) multiQueue {
 func (m *multiQueue) NumCPUs() int             { return len(m.queues) }
 func (m *multiQueue) Quantum() simclock.Cycles { return m.quantum }
 func (m *multiQueue) Queued(n *Node) bool      { return n.queued }
-func (m *multiQueue) Rotate(cpu, prio int)     { m.queues[cpu].rotate(prio) }
-func (m *multiQueue) Dequeue(n *Node)          { m.queues[m.homeOf(n)].dequeue(n) }
+
+// SetObserver implements Observable.
+func (m *multiQueue) SetObserver(o Observer) { m.obs = o }
+
+func (m *multiQueue) Rotate(cpu, prio int) {
+	m.queues[cpu].rotate(prio)
+	if m.obs != nil {
+		m.obs.Rotated(cpu, prio)
+	}
+}
+
+func (m *multiQueue) Dequeue(n *Node) {
+	was := n.queued
+	m.queues[m.homeOf(n)].dequeue(n)
+	if was && !n.queued && m.obs != nil {
+		m.obs.Dequeued(n)
+	}
+}
 
 func (m *multiQueue) Enqueue(n *Node) {
+	was := n.queued
 	m.queues[m.homeOf(n)].enqueue(n)
+	if !was && n.queued && m.obs != nil {
+		m.obs.Enqueued(n)
+	}
 }
 
 // Unplace implements Policy: the node leaves its runqueue and its home

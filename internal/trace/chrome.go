@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Chrome trace_event export. The output loads directly into
+// chrome://tracing or https://ui.perfetto.dev: one process ("mini-nova"),
+// one thread per simulated core, "X" complete events for spans, "i"
+// instants for point events, and "s"/"f" flow arrows stitching the
+// events of one causal chain (flow id = hw-task request id) across
+// cores. Timestamps are simulated microseconds (cycles / 660), so the
+// timeline reads in guest time, not host time.
+//
+// Determinism: events are walked per-ring oldest-first (ring order is
+// the core's own emission order), rings in core order, and every args
+// map is marshalled by encoding/json (sorted keys) — two exports of the
+// same run are byte-identical.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// spanKinds are rendered as "X" complete events even when Dur is 0 (a
+// degenerate span still deserves a slice, clamped to >=1 cycle so the
+// viewer draws it).
+var spanKinds = map[Kind]bool{
+	KindHypercall:   true,
+	KindVMSwitch:    true,
+	KindHwReq:       true,
+	KindIPCCall:     true,
+	KindEpochCommit: true,
+}
+
+func (t *Tracer) selName(sel uint64) string {
+	if t != nil && t.SelectorName != nil {
+		if n := t.SelectorName(int(sel)); n != "" {
+			return n
+		}
+	}
+	return fmt.Sprintf("sel_%d", sel)
+}
+
+func (t *Tracer) pdName(id uint64) string {
+	if t != nil && t.PDName != nil {
+		if n := t.PDName(int(id)); n != "" {
+			return n
+		}
+	}
+	return fmt.Sprintf("pd%d", id)
+}
+
+// eventName returns the slice name and args map for one event. Names
+// fold in the most useful discriminator (selector, IRQ, image key) so
+// the viewer's aggregate-by-name view is already meaningful.
+func (t *Tracer) eventName(e Event) (string, map[string]any) {
+	args := map[string]any{}
+	if e.Flow != 0 {
+		args["flow"] = e.Flow
+	}
+	switch e.Kind {
+	case KindHypercall:
+		args["selector"] = e.A
+		args["status"] = int64(e.B)
+		return "hc:" + t.selName(e.A), args
+	case KindVMSwitch:
+		if e.A != 0 {
+			args["from"] = t.pdName(e.A - 1)
+		}
+		args["to"] = t.pdName(e.B - 1)
+		return "switch->" + t.pdName(e.B-1), args
+	case KindSchedWake, KindSchedBlock:
+		args["pd"] = t.pdName(e.A)
+		if e.Kind == KindSchedWake {
+			args["prio"] = e.B
+		}
+		return e.Kind.String() + ":" + t.pdName(e.A), args
+	case KindSchedRotate:
+		args["prio"] = e.A
+		return e.Kind.String(), args
+	case KindVGICInject, KindVGICEOI, KindVGICRelatch:
+		args["irq"] = e.A
+		args["pd"] = t.pdName(e.B)
+		return fmt.Sprintf("%s:irq%d", e.Kind, e.A), args
+	case KindHwReq:
+		args["task"] = e.A
+		args["reply"] = int64(e.B)
+		return fmt.Sprintf("hwreq#%d", e.Flow), args
+	case KindHwReqSubmit:
+		args["task"] = e.A
+		args["client"] = t.pdName(e.B)
+		return e.Kind.String(), args
+	case KindHwReqComplete:
+		args["status"] = int64(e.A)
+		return e.Kind.String(), args
+	case KindReconfigSubmit:
+		args["key"] = e.A
+		switch e.B {
+		case ReconfigWarm:
+			args["outcome"] = "warm"
+		case ReconfigCoalesced:
+			args["outcome"] = "coalesced"
+		default:
+			args["outcome"] = "cold_miss"
+		}
+		return e.Kind.String(), args
+	case KindFillStart:
+		args["key"] = e.A
+		args["len"] = e.B
+		return fmt.Sprintf("fill:key%d", e.A), args
+	case KindFillDone:
+		args["key"] = e.A
+		return fmt.Sprintf("fill_done:key%d", e.A), args
+	case KindReconfigQueued:
+		args["key"] = e.A
+		return e.Kind.String(), args
+	case KindPCAPStart, KindPCAPDone:
+		args["prr"] = e.A
+		if e.Kind == KindPCAPStart {
+			args["len"] = e.B
+		} else {
+			args["ok"] = e.B == 1
+		}
+		return fmt.Sprintf("%s:prr%d", e.Kind, e.A), args
+	case KindCompletionIRQ:
+		args["irq"] = e.A
+		args["pd"] = t.pdName(e.B)
+		return e.Kind.String(), args
+	case KindIPCCall:
+		args["caller"] = t.pdName(e.A)
+		args["callee"] = t.pdName(e.B)
+		return "ipc:" + t.pdName(e.A) + "->" + t.pdName(e.B), args
+	case KindEpochCommit:
+		args["epoch"] = e.A
+		args["commits"] = e.B
+		return e.Kind.String(), args
+	default:
+		args["a"] = e.A
+		args["b"] = e.B
+		return e.Kind.String(), args
+	}
+}
+
+// ChromeJSON renders the whole trace as a Chrome trace_event JSON
+// document ({"traceEvents": [...]}).
+func (t *Tracer) ChromeJSON() ([]byte, error) {
+	if t == nil {
+		return []byte(`{"traceEvents":[]}`), nil
+	}
+	var evs []chromeEvent
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, Cat: "__metadata",
+		Args: map[string]any{"name": "mini-nova"},
+	})
+	for core := range t.rings {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: core, Cat: "__metadata",
+			Args: map[string]any{"name": fmt.Sprintf("core%d", core)},
+		})
+	}
+
+	// flowSpan tracks, per flow id, the first and last event so the
+	// flow arrows connect chain start to chain end.
+	type flowPoint struct {
+		ts   float64
+		tid  int
+		name string
+	}
+	flows := map[uint64][]flowPoint{}
+	var flowIDs []uint64
+
+	for core, r := range t.rings {
+		for _, e := range r.Events() {
+			name, args := t.eventName(e)
+			ce := chromeEvent{
+				Name: name, Cat: e.Kind.Cat(), PID: 1, TID: core,
+				TS: e.When.Micros(), Args: args,
+			}
+			if spanKinds[e.Kind] || e.Dur > 0 {
+				dur := e.Dur.Micros()
+				if dur <= 0 {
+					dur = 1.0 / 660 // one cycle, so the viewer draws it
+				}
+				ce.Ph = "X"
+				ce.Dur = &dur
+			} else {
+				ce.Ph = "i"
+				ce.S = "t" // thread-scoped instant
+			}
+			evs = append(evs, ce)
+			if e.Flow != 0 {
+				if _, seen := flows[e.Flow]; !seen {
+					flowIDs = append(flowIDs, e.Flow)
+				}
+				flows[e.Flow] = append(flows[e.Flow], flowPoint{ts: e.When.Micros(), tid: core, name: name})
+			}
+		}
+	}
+
+	// Flow arrows: one "s" at the chain's earliest event, "t" steps in
+	// between, "f" at the latest. Points are sorted by (ts, tid) so the
+	// arrow order is deterministic regardless of ring walk order.
+	sort.Slice(flowIDs, func(i, j int) bool { return flowIDs[i] < flowIDs[j] })
+	for _, id := range flowIDs {
+		pts := flows[id]
+		sort.SliceStable(pts, func(i, j int) bool {
+			if pts[i].ts != pts[j].ts {
+				return pts[i].ts < pts[j].ts
+			}
+			return pts[i].tid < pts[j].tid
+		})
+		if len(pts) < 2 {
+			continue
+		}
+		fname := fmt.Sprintf("flow#%d", id)
+		for i, p := range pts {
+			ph := "t"
+			switch i {
+			case 0:
+				ph = "s"
+			case len(pts) - 1:
+				ph = "f"
+			}
+			ce := chromeEvent{
+				Name: fname, Cat: "flow", Ph: ph, PID: 1, TID: p.tid,
+				TS: p.ts, ID: fmt.Sprintf("%d", id),
+			}
+			if ph == "f" {
+				ce.BP = "e" // bind to enclosing slice
+			}
+			evs = append(evs, ce)
+		}
+	}
+
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: evs}
+	return json.MarshalIndent(doc, "", " ")
+}
+
+// FlightDump renders the last perCore events of every ring as a
+// plain-text table — the flight recorder attached to scenario failures.
+// perCore <= 0 dumps everything retained.
+func (t *Tracer) FlightDump(perCore int) string {
+	if t == nil {
+		return "(tracing disabled)\n"
+	}
+	var b strings.Builder
+	for core, r := range t.rings {
+		evs := r.Events()
+		if perCore > 0 && len(evs) > perCore {
+			evs = evs[len(evs)-perCore:]
+		}
+		fmt.Fprintf(&b, "-- core %d: %d of %d events (drops=%d) --\n",
+			core, len(evs), r.Len(), r.Drops())
+		for _, e := range evs {
+			name, args := t.eventName(e)
+			keys := make([]string, 0, len(args))
+			for k := range args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var kv strings.Builder
+			for _, k := range keys {
+				fmt.Fprintf(&kv, " %s=%v", k, args[k])
+			}
+			if e.Dur > 0 {
+				fmt.Fprintf(&b, "%14.3fus +%10.3fus %-10s %-24s%s\n",
+					e.When.Micros(), e.Dur.Micros(), e.Kind.Cat(), name, kv.String())
+			} else {
+				fmt.Fprintf(&b, "%14.3fus %12s %-10s %-24s%s\n",
+					e.When.Micros(), "", e.Kind.Cat(), name, kv.String())
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,358 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/measure"
+	"repro/internal/simclock"
+)
+
+// The metrics registry layers typed instruments — monotonic counters,
+// point-in-time gauges, and fixed-bound histograms — on top of the plain
+// name→float64 counters `measure.Set` offers. The registry owns its own
+// state so traced runs never touch the kernel's checksummed probe set;
+// Publish copies a snapshot into a measure.Set when a report wants the
+// two side by side. Everything renders and publishes in sorted-name
+// order, so dumps diff cleanly across runs.
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add accumulates n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a point-in-time level (queue depth, cache bytes, live VMs).
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores the current level.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the level by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram is a latency distribution over fixed, immutable bucket
+// bounds (in cycles). Bounds are upper-inclusive; one implicit overflow
+// bucket catches everything above the last bound. Fixed bounds keep the
+// rendered output shape — and therefore diffs — stable across runs.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []simclock.Cycles // sorted ascending
+	buckets []uint64          // len(bounds)+1, last = overflow
+	count   uint64
+	total   simclock.Cycles
+	max     simclock.Cycles
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d simclock.Cycles) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.buckets[i]++
+	h.count++
+	h.total += d
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// MeanMicros returns the average sample in microseconds (0 when empty).
+func (h *Histogram) MeanMicros() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.total) / float64(h.count) / float64(simclock.CyclesPerMicrosecond)
+}
+
+// Quantile returns an upper bound for the q-th quantile (0..1): the
+// bound of the bucket holding the nearest-rank sample, or the observed
+// max for the overflow bucket. Coarse by design — the exact distribution
+// lives in the trace events; this is the cheap always-on summary.
+func (h *Histogram) Quantile(q float64) simclock.Cycles {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// snapshot returns copies of the internals for rendering.
+func (h *Histogram) snapshot() (bounds []simclock.Cycles, buckets []uint64, count uint64, total, max simclock.Cycles) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = append([]simclock.Cycles(nil), h.bounds...)
+	buckets = append([]uint64(nil), h.buckets...)
+	return bounds, buckets, h.count, h.total, h.max
+}
+
+// DefaultLatencyBounds are the standard histogram bounds for kernel-path
+// latencies: 1 µs to 10 ms in a 1-2-5 ladder, expressed in cycles.
+func DefaultLatencyBounds() []simclock.Cycles {
+	us := []uint64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+	out := make([]simclock.Cycles, len(us))
+	for i, u := range us {
+		out[i] = simclock.FromMicros(float64(u))
+	}
+	return out
+}
+
+// Registry is a named collection of typed instruments with deterministic
+// (sorted-name) iteration everywhere.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Nil-safe: a
+// nil registry returns a nil instrument whose methods no-op.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. bounds is
+// used only on first creation (nil selects DefaultLatencyBounds); it
+// must be sorted ascending.
+func (r *Registry) Histogram(name string, bounds []simclock.Cycles) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultLatencyBounds()
+		}
+		b := append([]simclock.Cycles(nil), bounds...)
+		h = &Histogram{bounds: b, buckets: make([]uint64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+func (r *Registry) sortedCounterNames() []string {
+	out := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Registry) sortedGaugeNames() []string {
+	out := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Registry) sortedHistogramNames() []string {
+	out := make([]string, 0, len(r.histograms))
+	for n := range r.histograms {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Publish copies every instrument into set as flat counters —
+// `trace.counter.<name>`, `trace.gauge.<name>`, and for histograms
+// `trace.hist.<name>.count` / `.mean_us` / `.p95_us` — so scenario and
+// sweep reports can show metrics beside the Table III probes. Sorted
+// order; never touches set's probes.
+func (r *Registry) Publish(set *measure.Set) {
+	if r == nil || set == nil {
+		return
+	}
+	r.mu.Lock()
+	counters := r.sortedCounterNames()
+	gauges := r.sortedGaugeNames()
+	hists := r.sortedHistogramNames()
+	cm, gm, hm := r.counters, r.gauges, r.histograms
+	r.mu.Unlock()
+	for _, n := range counters {
+		set.SetCounter("trace.counter."+n, float64(cm[n].Value()))
+	}
+	for _, n := range gauges {
+		set.SetCounter("trace.gauge."+n, gm[n].Value())
+	}
+	for _, n := range hists {
+		h := hm[n]
+		set.SetCounter("trace.hist."+n+".count", float64(h.Count()))
+		set.SetCounter("trace.hist."+n+".mean_us", h.MeanMicros())
+		set.SetCounter("trace.hist."+n+".p95_us", h.Quantile(0.95).Micros())
+	}
+}
+
+// String renders all instruments in sorted order: counters, gauges, then
+// histograms with their non-empty buckets.
+func (r *Registry) String() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	counters := r.sortedCounterNames()
+	gauges := r.sortedGaugeNames()
+	hists := r.sortedHistogramNames()
+	cm, gm, hm := r.counters, r.gauges, r.histograms
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, n := range counters {
+		fmt.Fprintf(&b, "counter %-28s %d\n", n, cm[n].Value())
+	}
+	for _, n := range gauges {
+		fmt.Fprintf(&b, "gauge   %-28s %g\n", n, gm[n].Value())
+	}
+	for _, n := range hists {
+		bounds, buckets, count, total, max := hm[n].snapshot()
+		mean := 0.0
+		if count > 0 {
+			mean = float64(total) / float64(count) / float64(simclock.CyclesPerMicrosecond)
+		}
+		fmt.Fprintf(&b, "hist    %-28s n=%d mean=%.3fus max=%.3fus\n", n, count, mean, max.Micros())
+		for i, cnt := range buckets {
+			if cnt == 0 {
+				continue
+			}
+			if i < len(bounds) {
+				fmt.Fprintf(&b, "        <=%9.1fus %d\n", bounds[i].Micros(), cnt)
+			} else {
+				fmt.Fprintf(&b, "         >%9.1fus %d\n", bounds[len(bounds)-1].Micros(), cnt)
+			}
+		}
+	}
+	return b.String()
+}
