@@ -14,6 +14,9 @@
 //	go run ./cmd/experiments -bench     # simulator wall-clock benchmarks -> BENCH_sim.json
 //	go run ./cmd/experiments -scenario  # multi-VM stress-scenario suite (parallel, checksummed)
 //	go run ./cmd/experiments -scenario -shards 4  # same suite on the epoch-barrier parallel engine
+//	go run ./cmd/experiments -faults    # just the fault-injection/QoS scenarios
+//	go run ./cmd/experiments -faults -fault-seed 99  # same, replaying an alternate fault plan
+//	go run ./cmd/experiments -interference  # noisy-neighbor p99 interference probe
 //	go run ./cmd/experiments -iters 40 -guests 4
 package main
 
@@ -44,6 +47,10 @@ func main() {
 		scenOut    = flag.String("scenario-out", "", "also write the per-scenario checksum summary to this file")
 		traceOn    = flag.Bool("trace", false, "enable kernel event tracing on the scenario runs (checksums are unchanged; implies -scenario)")
 		traceOut   = flag.String("trace-out", "", "write each traced scenario's Chrome trace_event JSON here (load in chrome://tracing or Perfetto; with several scenarios the name gains a -<scenario> suffix; implies -trace)")
+		faultsOnly = flag.Bool("faults", false, "restrict the scenario run to the fault-injection/QoS scenarios (implies -scenario)")
+		faultSeed  = flag.Uint("fault-seed", 0, "override the fault-plan seed of the selected fault scenarios (0 = derive from each scenario's seed; implies -faults)")
+		interfere  = flag.Bool("interference", false, "run the noisy-neighbor interference probe: critical-VM p99 under a greedy neighbor vs uncontended baseline")
+		interOut   = flag.String("interference-out", "", "write the interference report here (implies -interference)")
 		shards     = flag.Int("shards", 0, "run each scenario through the epoch-barrier parallel engine on this many host goroutines (0/1 = sequential reference loop)")
 		cacheKB    = flag.Uint("cachekb", 0, "override the bitstream cache budget in KB (0 = default 1024)")
 		guests     = flag.Int("guests", 4, "maximum number of guest VMs")
@@ -57,10 +64,33 @@ func main() {
 	if *traceOut != "" {
 		*traceOn = true
 	}
-	if *scenName != "" || *scenOut != "" || *scenShort || *traceOn {
+	if *interOut != "" {
+		*interfere = true
+	}
+	if *faultSeed != 0 {
+		*faultsOnly = true
+	}
+	if *scenName != "" || *scenOut != "" || *scenShort || *traceOn || *faultsOnly {
 		*scen = true // the sub-flags imply the scenario run
 	}
-	all := !*table3 && !*fig9 && !*footprint && !*dualcore && !*reconfig && !*bench && !*scen
+	all := !*table3 && !*fig9 && !*footprint && !*dualcore && !*reconfig && !*bench && !*scen && !*interfere
+
+	if *interfere {
+		fmt.Printf("running noisy-neighbor interference probe (short=%v)...\n", *scenShort)
+		rep := scenario.RunInterference(*scenShort)
+		fmt.Println(rep)
+		if *interOut != "" {
+			if err := os.WriteFile(*interOut, []byte(rep.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *interOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *interOut)
+		}
+		if !rep.Bounded() {
+			fmt.Fprintln(os.Stderr, "interference bound violated")
+			os.Exit(1)
+		}
+	}
 
 	if *scen {
 		specs := scenario.Suite(*scenShort)
@@ -75,9 +105,25 @@ func main() {
 			}
 			specs = []scenario.Spec{spec}
 		}
+		if *faultsOnly {
+			kept := specs[:0]
+			for _, s := range specs {
+				if s.Faults.Enabled() || s.QoS.Enabled() {
+					kept = append(kept, s)
+				}
+			}
+			specs = kept
+			if len(specs) == 0 {
+				fmt.Fprintln(os.Stderr, "no fault/QoS scenarios selected")
+				os.Exit(1)
+			}
+		}
 		for i := range specs {
 			specs[i].Shards = *shards
 			specs[i].Trace = *traceOn
+			if *faultSeed != 0 && specs[i].Faults.Enabled() {
+				specs[i].Faults.Seed = uint32(*faultSeed)
+			}
 		}
 		fmt.Printf("running %d stress scenarios in parallel (short=%v, shards=%d, trace=%v)...\n",
 			len(specs), *scenShort, *shards, *traceOn)

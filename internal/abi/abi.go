@@ -78,53 +78,75 @@ const (
 // Hypercall status codes returned in R0. Every failure mode has a
 // distinct, documented code:
 //
-//	StatusOK       success
-//	StatusReconfig request accepted, PCAP transfer in flight (§IV-E)
-//	StatusBusy     no idle PRR can host the task right now (§IV-E)
-//	StatusNoMsg    portal receive: no caller queued
-//	StatusInval    arguments out of range for a valid portal
-//	StatusDenied   capability held but lacks the required rights
-//	StatusBadSel   selector resolves no capability in the caller's space
-//	               (unknown call number, empty slot, forged selector)
-//	StatusRevoked  capability's object was revoked after delegation
-//	StatusBadType  capability resolves an object of the wrong type
-//	StatusErr      internal failure (missing device, bus error)
+//	StatusOK        success
+//	StatusReconfig  request accepted, PCAP transfer in flight (§IV-E)
+//	StatusBusy      no idle PRR can host the task right now (§IV-E)
+//	StatusNoMsg     portal receive: no caller queued
+//	StatusInval     arguments out of range for a valid portal
+//	StatusDenied    capability held but lacks the required rights
+//	StatusBadSel    selector resolves no capability in the caller's space
+//	                (unknown call number, empty slot, forged selector)
+//	StatusRevoked   capability's object was revoked after delegation
+//	StatusBadType   capability resolves an object of the wrong type
+//	StatusThrottled the caller's admission token bucket is empty; retry
+//	                after backing off (QoS guard, transient)
+//	StatusFaulted   the request failed in hardware — reconfiguration
+//	                exhausted its retries or every compatible PRR is
+//	                quarantined (fault path, not load)
+//	StatusRetry     the caller's circuit breaker is open (reconfiguration
+//	                thrash); back off longer than for StatusThrottled
+//	StatusErr       internal failure (missing device, bus error)
+//
+// The codes form a dense iota block ending at NumStatusCodes (StatusErr
+// sits apart as all-ones) so diagnostics and tests can enumerate them;
+// a new code added without a StatusName entry fails the exhaustiveness
+// test in abi_test.go.
 const (
-	StatusOK       = 0
-	StatusReconfig = 1
-	StatusBusy     = 2
-	StatusNoMsg    = 3
-	StatusInval    = 4
-	StatusDenied   = 5
-	StatusBadSel   = 6
-	StatusRevoked  = 7
-	StatusBadType  = 8
-	StatusErr      = ^uint32(0)
+	StatusOK = iota
+	StatusReconfig
+	StatusBusy
+	StatusNoMsg
+	StatusInval
+	StatusDenied
+	StatusBadSel
+	StatusRevoked
+	StatusBadType
+	StatusThrottled
+	StatusFaulted
+	StatusRetry
+
+	// NumStatusCodes bounds the dense status block above (StatusErr is
+	// the out-of-band all-ones code).
+	NumStatusCodes
+
+	StatusErr = ^uint32(0)
 )
+
+// statusNames maps every dense status code to its symbolic name. Keep in
+// lockstep with the const block: a missing entry renders as "" and fails
+// TestStatusNameExhaustive.
+var statusNames = [NumStatusCodes]string{
+	StatusOK:        "ok",
+	StatusReconfig:  "reconfig",
+	StatusBusy:      "busy",
+	StatusNoMsg:     "nomsg",
+	StatusInval:     "inval",
+	StatusDenied:    "denied",
+	StatusBadSel:    "badsel",
+	StatusRevoked:   "revoked",
+	StatusBadType:   "badtype",
+	StatusThrottled: "throttled",
+	StatusFaulted:   "faulted",
+	StatusRetry:     "retry",
+}
 
 // StatusName returns the symbolic name of a status code (diagnostics).
 func StatusName(s uint32) string {
-	switch s {
-	case StatusOK:
-		return "ok"
-	case StatusReconfig:
-		return "reconfig"
-	case StatusBusy:
-		return "busy"
-	case StatusNoMsg:
-		return "nomsg"
-	case StatusInval:
-		return "inval"
-	case StatusDenied:
-		return "denied"
-	case StatusBadSel:
-		return "badsel"
-	case StatusRevoked:
-		return "revoked"
-	case StatusBadType:
-		return "badtype"
-	case StatusErr:
+	if s == StatusErr {
 		return "err"
+	}
+	if s < NumStatusCodes && statusNames[s] != "" {
+		return statusNames[s]
 	}
 	return "unknown"
 }

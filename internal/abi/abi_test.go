@@ -20,7 +20,8 @@ func TestSelectorLayout(t *testing.T) {
 func TestStatusCodesDistinct(t *testing.T) {
 	codes := []uint32{
 		StatusOK, StatusReconfig, StatusBusy, StatusNoMsg, StatusInval,
-		StatusDenied, StatusBadSel, StatusRevoked, StatusBadType, StatusErr,
+		StatusDenied, StatusBadSel, StatusRevoked, StatusBadType,
+		StatusThrottled, StatusFaulted, StatusRetry, StatusErr,
 	}
 	seen := map[uint32]string{}
 	for _, c := range codes {
@@ -35,6 +36,41 @@ func TestStatusCodesDistinct(t *testing.T) {
 	}
 	if StatusName(12345) != "unknown" {
 		t.Error("StatusName must report unknown codes")
+	}
+}
+
+// TestStatusNameExhaustive enumerates the whole dense status block plus
+// the out-of-band StatusErr: every constant must map to a real name, so
+// adding a status code without extending statusNames fails here instead
+// of rendering "unknown" in a diagnostic three layers up.
+func TestStatusNameExhaustive(t *testing.T) {
+	for s := uint32(0); s < NumStatusCodes; s++ {
+		if name := StatusName(s); name == "unknown" || name == "" {
+			t.Errorf("status code %d lacks a StatusName entry", s)
+		}
+	}
+	if StatusName(StatusErr) != "err" {
+		t.Errorf("StatusName(StatusErr) = %q, want err", StatusName(StatusErr))
+	}
+	if StatusName(NumStatusCodes) != "unknown" {
+		t.Errorf("StatusName(NumStatusCodes) = %q, want unknown", StatusName(NumStatusCodes))
+	}
+	// The fault/QoS codes sit above the seed's dense block — existing
+	// clients switch on exact values, so the old codes must not move.
+	fixed := map[uint32]string{
+		StatusOK: "ok", StatusReconfig: "reconfig", StatusBusy: "busy",
+		StatusNoMsg: "nomsg", StatusInval: "inval", StatusDenied: "denied",
+		StatusBadSel: "badsel", StatusRevoked: "revoked", StatusBadType: "badtype",
+		StatusThrottled: "throttled", StatusFaulted: "faulted", StatusRetry: "retry",
+	}
+	for code, want := range fixed {
+		if got := StatusName(code); got != want {
+			t.Errorf("StatusName(%d) = %q, want %q", code, got, want)
+		}
+	}
+	if StatusThrottled != 9 || StatusFaulted != 10 || StatusRetry != 11 {
+		t.Errorf("fault/QoS codes moved: throttled=%d faulted=%d retry=%d, want 9/10/11",
+			StatusThrottled, StatusFaulted, StatusRetry)
 	}
 }
 

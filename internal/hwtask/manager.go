@@ -83,6 +83,10 @@ const (
 	ReplyReconfig = abi.StatusReconfig
 	ReplyBusy     = abi.StatusBusy
 	ReplyInval    = abi.StatusInval
+	// ReplyFaulted means every PRR compatible with the task is quarantined
+	// (repeated configuration faults); retrying will not help until a
+	// region heals or the task set changes.
+	ReplyFaulted = abi.StatusFaulted
 )
 
 // Actions abstracts the privileged effects of an allocation so the same
@@ -91,6 +95,11 @@ const (
 type Actions interface {
 	// PRRBusy reports whether the region is executing right now.
 	PRRBusy(prr int) bool
+	// PRRQuarantined reports whether the region has been pulled from the
+	// placement pool after repeated configuration faults (the kernel's
+	// reconfiguration pipeline tracks region health; the native baseline
+	// has no fault plan and always answers false).
+	PRRQuarantined(prr int) bool
 	// Reclaim withdraws region prr from a previous client: consistency
 	// save + interface demap + IRQ withdrawal (§IV-C). No-op natively.
 	Reclaim(clientID, prr int)
@@ -132,6 +141,7 @@ type Stats struct {
 	Reconfigs uint64 // PCAP transfer launched
 	Reclaims  uint64 // region taken from another VM
 	Busy      uint64 // no idle PRR
+	Faulted   uint64 // every compatible PRR quarantined
 	Releases  uint64
 }
 
@@ -211,10 +221,16 @@ func (m *Manager) Handle(ctx *cpu.ExecContext, req Request, act Actions) uint32 
 	// (b) an idle empty region, (c) any idle compatible region (reconfig).
 	// Regions currently executing are never victims; if none is idle the
 	// request fails with Busy (Fig. 7 stage 2).
+	// Quarantined regions (repeated config faults) are skipped in every
+	// pass — the self-healing placement: a task whose favourite region
+	// went bad lands on a healthy compatible one instead.
 	m.exec(ctx, 300+140*len(t.PRRList))
 	chosen, needReconfig := -1, false
 	for _, r := range t.PRRList {
 		m.touchPRR(ctx, r, false)
+		if act.PRRQuarantined(r) {
+			continue
+		}
 		if m.PRRs[r].TaskID == int(req.TaskID) && !m.PRRs[r].Loading && !act.PRRBusy(r) {
 			chosen = r
 			break
@@ -222,7 +238,7 @@ func (m *Manager) Handle(ctx *cpu.ExecContext, req Request, act Actions) uint32 
 	}
 	if chosen < 0 {
 		for _, r := range t.PRRList {
-			if m.PRRs[r].TaskID < 0 && !act.PRRBusy(r) {
+			if m.PRRs[r].TaskID < 0 && !act.PRRBusy(r) && !act.PRRQuarantined(r) {
 				chosen, needReconfig = r, true
 				break
 			}
@@ -230,15 +246,27 @@ func (m *Manager) Handle(ctx *cpu.ExecContext, req Request, act Actions) uint32 
 	}
 	if chosen < 0 {
 		for _, r := range t.PRRList {
-			if !act.PRRBusy(r) && !m.PRRs[r].Loading {
+			if !act.PRRBusy(r) && !m.PRRs[r].Loading && !act.PRRQuarantined(r) {
 				chosen, needReconfig = r, true
 				break
 			}
 		}
 	}
 	if chosen < 0 {
-		m.Stats.Busy++
 		m.exec(ctx, 200)
+		healthy := 0
+		for _, r := range t.PRRList {
+			if !act.PRRQuarantined(r) {
+				healthy++
+			}
+		}
+		if healthy == 0 {
+			// Nothing compatible is left in the placement pool: Busy would
+			// invite a futile retry storm, so tell the client the truth.
+			m.Stats.Faulted++
+			return ReplyFaulted
+		}
+		m.Stats.Busy++
 		return ReplyBusy
 	}
 

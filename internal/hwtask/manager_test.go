@@ -13,6 +13,7 @@ import (
 // fakeActions records effects for decision-core tests.
 type fakeActions struct {
 	busy      map[int]bool
+	quar      map[int]bool
 	reclaims  [][2]int
 	mapped    []int
 	windows   []int
@@ -22,8 +23,9 @@ type fakeActions struct {
 	pcapBusy  bool
 }
 
-func (f *fakeActions) PRRBusy(prr int) bool { return f.busy[prr] }
-func (f *fakeActions) Reclaim(c, p int)     { f.reclaims = append(f.reclaims, [2]int{c, p}) }
+func (f *fakeActions) PRRBusy(prr int) bool        { return f.busy[prr] }
+func (f *fakeActions) PRRQuarantined(prr int) bool { return f.quar[prr] }
+func (f *fakeActions) Reclaim(c, p int)            { f.reclaims = append(f.reclaims, [2]int{c, p}) }
 func (f *fakeActions) MapIface(r Request, p int) bool {
 	if f.mapFail {
 		return false

@@ -84,6 +84,12 @@ func (a *portalActions) PRRBusy(prr int) bool {
 	return a.env.K.PRRBusy(prr)
 }
 
+func (a *portalActions) PRRQuarantined(prr int) bool {
+	// Region health lives in the kernel's reconfiguration pipeline, on
+	// the manager's own core — a direct read, no portal round trip.
+	return a.env.K.PRRQuarantined(prr)
+}
+
 func (a *portalActions) Reclaim(clientID, prr int) {
 	a.env.Hypercall(abi.HcMgrUnmapIface, uint32(clientID), uint32(prr))
 }
@@ -128,6 +134,10 @@ type NativeActions struct {
 
 // PRRBusy implements Actions.
 func (a *NativeActions) PRRBusy(prr int) bool { return a.Fabric.Busy(prr) }
+
+// PRRQuarantined implements Actions: the native baseline runs without a
+// fault plan, so every region is always healthy.
+func (a *NativeActions) PRRQuarantined(prr int) bool { return false }
 
 // Reclaim implements Actions: nothing to demap in a unified space.
 func (a *NativeActions) Reclaim(clientID, prr int) {}

@@ -203,6 +203,12 @@ func (k *Kernel) hcHwTaskRequest(c *CoreCtx, pd *PD, kind HwRequestKind, args [4
 		if _, err := pd.Space.Lookup(SelDataSect, capspace.ObjMemRegion, capspace.RightCall); err != capspace.OK {
 			return StatusInval // must register a data section first
 		}
+		// QoS admission (qos.go): a throttled or circuit-broken client is
+		// bounced here, at the portal, before its request can cost the
+		// manager service (or the PCAP) anything.
+		if st := k.admitHwRequest(c, pd); st != StatusOK {
+			return st
+		}
 	}
 	t0 := c.Clock.Now()
 	if len(k.Cores) == 1 || pd.Core == k.hwSvc.Core {
@@ -299,6 +305,12 @@ func (k *Kernel) hcHwTaskStatus(c *CoreCtx, pd *PD, _ uint32) uint32 {
 		if k.Reconfig.PendingFor(pd) {
 			return StatusReconfig
 		}
+		if pd.reconfigFault {
+			// A reconfiguration for this client failed for good (retries
+			// exhausted); clear-on-read, so the client unwinds exactly once.
+			pd.reconfigFault = false
+			return StatusFaulted
+		}
 		return StatusOK
 	}
 	// Cross-core poll: the pipeline's state advances on the manager core's
@@ -309,6 +321,9 @@ func (k *Kernel) hcHwTaskStatus(c *CoreCtx, pd *PD, _ uint32) uint32 {
 	k.post(c, func() {
 		if k.Reconfig.PendingFor(pd) {
 			status = StatusReconfig
+		} else if pd.reconfigFault {
+			pd.reconfigFault = false
+			status = StatusFaulted
 		}
 		k.wake(pd)
 	})
@@ -727,6 +742,14 @@ func (k *Kernel) mgrPCAPStart(c *CoreCtx, reqID, srcOff, length uint32, prr int,
 		return StatusInval
 	}
 	pd := req.PD
+	// Charge the client's breaker for the launch (weight 1; a failure
+	// below adds FaultWeight). The client is parked in hcHwTaskRequest
+	// for the whole acquire, so its guard state is quiescent and may be
+	// charged from the manager's core.
+	if pd.breaker.Charge(c.Clock.Now(), 1) && k.Tracer != nil {
+		k.Tracer.Core(c.ID).Emit(c.Clock.Now(), trace.KindBreakerTrip,
+			uint64(reqID), uint64(pd.ID), pd.breaker.Trips)
+	}
 	k.Reconfig.Submit(&reconfig.Request{
 		Key:      srcOff,
 		SrcOff:   srcOff,
@@ -758,7 +781,29 @@ func (k *Kernel) mgrPCAPStart(c *CoreCtx, reqID, srcOff, length uint32, prr int,
 			}
 		},
 		OnDone: func(r *reconfig.Request, ok bool) {
-			k.pcapDone = append(k.pcapDone, pcapOwner{pd: pd, flow: r.Flow})
+			if ok {
+				k.pcapDone = append(k.pcapDone, pcapOwner{pd: pd, flow: r.Flow})
+				return
+			}
+			// The download failed for good (retries exhausted): no
+			// completion IRQ ever fires. Latch the fault for the client's
+			// next HcHwTaskStatus poll and charge its breaker heavily. The
+			// client core's goroutine may be live mid-epoch, so when the
+			// client is homed elsewhere the charge lands at the barrier.
+			mc := k.reconfigCore()
+			fail := func() {
+				pd.reconfigFault = true
+				now := mc.Clock.Now()
+				if pd.breaker.Charge(now, k.qos.FaultWeight) && k.Tracer != nil {
+					k.Tracer.Core(mc.ID).Emit(now, trace.KindBreakerTrip,
+						r.Flow, uint64(pd.ID), pd.breaker.Trips)
+				}
+			}
+			if len(k.Cores) == 1 || pd.Core == mc {
+				fail()
+			} else {
+				k.post(mc, fail)
+			}
 		},
 	})
 	c.Clock.Advance(2 * CostDeviceAccess) // portal bookkeeping

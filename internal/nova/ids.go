@@ -80,16 +80,19 @@ const (
 // Hypercall status codes returned in R0 (documented in internal/abi;
 // every failure mode has a distinct code).
 const (
-	StatusOK       = abi.StatusOK
-	StatusReconfig = abi.StatusReconfig
-	StatusBusy     = abi.StatusBusy
-	StatusNoMsg    = abi.StatusNoMsg
-	StatusInval    = abi.StatusInval  // bad arguments to a valid portal
-	StatusDenied   = abi.StatusDenied // capability held, rights missing
-	StatusBadSel   = abi.StatusBadSel // selector resolves no capability
-	StatusRevoked  = abi.StatusRevoked
-	StatusBadType  = abi.StatusBadType
-	StatusErr      = abi.StatusErr
+	StatusOK        = abi.StatusOK
+	StatusReconfig  = abi.StatusReconfig
+	StatusBusy      = abi.StatusBusy
+	StatusNoMsg     = abi.StatusNoMsg
+	StatusInval     = abi.StatusInval  // bad arguments to a valid portal
+	StatusDenied    = abi.StatusDenied // capability held, rights missing
+	StatusBadSel    = abi.StatusBadSel // selector resolves no capability
+	StatusRevoked   = abi.StatusRevoked
+	StatusBadType   = abi.StatusBadType
+	StatusThrottled = abi.StatusThrottled // QoS token bucket empty
+	StatusFaulted   = abi.StatusFaulted   // reconfiguration failed / PRRs quarantined
+	StatusRetry     = abi.StatusRetry     // circuit breaker open, back off
+	StatusErr       = abi.StatusErr
 )
 
 // Priority levels (paper Fig. 3: idle=0, guest OSes=1, user services such

@@ -145,6 +145,12 @@ type Kernel struct {
 	nextReqID uint32
 	hwSvc     *PD
 
+	// QoS guard configuration for the manager portal (see qos.go);
+	// qosOn gates the admission path so a guard-free kernel pays one
+	// boolean test.
+	qos   QoSConfig
+	qosOn bool
+
 	// PL interrupt routing (§IV-D). pcapDone lists the owners of PCAP
 	// transfers that completed since the last interrupt was handled — with
 	// the request queue, back-to-back completions for different VMs can
@@ -430,6 +436,9 @@ func (k *Kernel) CreatePD(cfg PDConfig) *PD {
 		// every domain born after the service registers is handed over.
 		k.delegateClientHandle(pd)
 	}
+	if k.qosOn {
+		k.initQoS(pd)
+	}
 	pd.node = sched.NewNode(pd, cfg.Priority, cfg.Affinity)
 	pd.Core = k.Cores[k.Sched.Place(&pd.node)]
 	pd.VCPU.TTBR = uint32(pd.Table.Base)
@@ -531,6 +540,7 @@ func (k *Kernel) guestWrapper(pd *PD) {
 	pd.dead = true
 	k.Sched.Unplace(&pd.node)
 	k.failPortalCallers(pd)
+	k.reconfigPurge(pd)
 	for {
 		select {
 		case pd.Core.yieldCh <- yieldExited:
@@ -545,6 +555,37 @@ func (k *Kernel) guestWrapper(pd *PD) {
 		case <-k.dying:
 			return
 		}
+	}
+}
+
+// reconfigPurge sheds a dead PD's reconfiguration state: queued requests
+// leave the PCAP queue before they can download into a PRR whose owner
+// is gone, in-flight work is orphaned (its callbacks disarmed), and
+// already-completed transfers awaiting their interrupt are dropped from
+// pcapDone — the completion would otherwise inject into a retired vGIC.
+// The pipeline and pcapDone belong to the manager core, so a victim
+// homed elsewhere defers the purge to the barrier.
+func (k *Kernel) reconfigPurge(pd *PD) {
+	if k.Reconfig == nil {
+		return
+	}
+	purge := func() {
+		k.Reconfig.PurgeOwner(pd)
+		kept := k.pcapDone[:0]
+		for _, own := range k.pcapDone {
+			if own.pd != pd {
+				kept = append(kept, own)
+			}
+		}
+		for i := len(kept); i < len(k.pcapDone); i++ {
+			k.pcapDone[i] = pcapOwner{}
+		}
+		k.pcapDone = kept
+	}
+	if len(k.Cores) == 1 || pd.Core == k.reconfigCore() {
+		purge()
+	} else {
+		k.post(pd.Core, purge)
 	}
 }
 
@@ -858,6 +899,9 @@ func (k *Kernel) onIRQ(c *CoreCtx) {
 		for _, own := range k.pcapDone {
 			own := own
 			if len(k.Cores) == 1 || own.pd.Core == c {
+				if own.pd.dead {
+					continue // owner exited between completion and delivery
+				}
 				k.traceCompletionIRQ(own, id)
 				if own.pd.VGIC.Inject(id) {
 					k.wakeIfIdle(own.pd)
@@ -865,6 +909,11 @@ func (k *Kernel) onIRQ(c *CoreCtx) {
 				}
 			} else {
 				k.post(c, func() {
+					// The owner may have died this epoch on its own core;
+					// its dead flag is safe to read only here, at the barrier.
+					if own.pd.dead {
+						return
+					}
 					k.traceCompletionIRQ(own, id)
 					if own.pd.VGIC.Inject(id) {
 						k.wakeIfIdle(own.pd)

@@ -3,6 +3,7 @@ package nova
 import (
 	"repro/internal/capspace"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/mmu"
 	"repro/internal/physmem"
 	"repro/internal/sched"
@@ -117,6 +118,15 @@ type PD struct {
 	// mode 1): any vIRQ injection wakes it, and its virtual timer keeps
 	// running while it sleeps.
 	idleWaiting bool
+
+	// QoS guard state (manager-portal admission, see qos.go): the token
+	// bucket and breaker are touched by this PD's own hypercall path and
+	// — for failure charges — by barrier commits; reconfigFault latches a
+	// failed reconfiguration for the next HcHwTaskStatus poll
+	// (clear-on-read), under the same ownership discipline.
+	bucket        fault.TokenBucket
+	breaker       fault.Breaker
+	reconfigFault bool
 
 	// Coroutine plumbing.
 	resumeCh chan resumeCmd

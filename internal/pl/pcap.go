@@ -49,11 +49,37 @@ type PCAP struct {
 	// reconfiguration pipeline uses it to drain its request queue.
 	OnComplete func(target int, ok bool)
 
+	// armed is the one-shot fault the next kick consumes (fault
+	// injection; see InjectFault).
+	armed FaultKind
+
 	// Transfers counts completed downloads; Errors counts failed ones,
 	// including starts rejected while a transfer was in flight.
 	Transfers uint64
 	Errors    uint64
+	// Aborts counts transfers cancelled through Abort (watchdog reaps).
+	Aborts uint64
 }
+
+// FaultKind selects the one-shot fault InjectFault arms on the device.
+type FaultKind uint8
+
+const (
+	// FaultNone clears any armed fault.
+	FaultNone FaultKind = iota
+	// FaultCRC makes the next transfer complete in error (CRC check
+	// failure): status 3, completion IRQ raised, no configuration loaded.
+	FaultCRC
+	// FaultStall makes the next transfer hang: its completion is
+	// scheduled pcapStallFactor× late, so a supervising watchdog must
+	// Abort and restart it. If nothing reaps it, it eventually completes
+	// normally — a stall, not a loss.
+	FaultStall
+)
+
+// pcapStallFactor stretches a stalled transfer's completion far beyond
+// any sane watchdog horizon.
+const pcapStallFactor = 64
 
 func newPCAP(f *Fabric) *PCAP {
 	return &PCAP{f: f, regs: make(map[physmem.Addr]uint32)}
@@ -96,7 +122,11 @@ func (p *PCAP) kick() {
 	p.cur.target = int(p.regs[PCAPRegTarget])
 	p.busy = true
 	p.regs[PCAPRegStatus] = 1
-	p.pending = p.f.Clock.After(TransferCycles(p.cur.n), func(simclock.Cycles) {
+	delay := TransferCycles(p.cur.n)
+	if p.armed == FaultStall {
+		delay *= pcapStallFactor
+	}
+	p.pending = p.f.Clock.After(delay, func(simclock.Cycles) {
 		p.finish()
 	})
 }
@@ -105,6 +135,8 @@ func (p *PCAP) finish() {
 	src, n, target := p.cur.src, p.cur.n, p.cur.target
 	p.busy = false
 	p.pending = nil
+	armed := p.armed
+	p.armed = FaultNone
 	fail := func(err error) {
 		p.Errors++
 		p.regs[PCAPRegStatus] = 3
@@ -114,6 +146,10 @@ func (p *PCAP) finish() {
 		if p.OnComplete != nil {
 			p.OnComplete(target, false)
 		}
+	}
+	if armed == FaultCRC {
+		fail(fmt.Errorf("pcap: CRC check failed (injected)"))
+		return
 	}
 	if target < 0 || target >= len(p.f.PRRs) {
 		fail(fmt.Errorf("pcap: bad target PRR %d", target))
@@ -144,3 +180,27 @@ func (p *PCAP) finish() {
 
 // Busy reports whether a transfer is in flight.
 func (p *PCAP) Busy() bool { return p.busy }
+
+// InjectFault arms a one-shot fault consumed by the next transfer (the
+// fault-plan engine's hook; a real board fails on its own). Arming while
+// a transfer is in flight affects that transfer's completion only for
+// FaultCRC; a stall must be armed before the kick to stretch the timer.
+func (p *PCAP) InjectFault(k FaultKind) { p.armed = k }
+
+// Abort cancels the in-flight transfer without completing it: no status
+// update, no IRQ, no OnComplete. The supervising pipeline uses it to
+// reap a stalled transfer from its watchdog before re-kicking. A no-op
+// when idle.
+func (p *PCAP) Abort() {
+	if !p.busy {
+		return
+	}
+	if p.pending != nil {
+		p.f.Clock.Cancel(p.pending)
+		p.pending = nil
+	}
+	p.busy = false
+	p.armed = FaultNone
+	p.regs[PCAPRegStatus] = 0
+	p.Aborts++
+}

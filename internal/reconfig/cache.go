@@ -31,13 +31,15 @@ type Cache struct {
 // CacheStats counts cache outcomes. Coalesced misses found a fill already
 // in flight for the same image and joined it instead of re-reading the SD
 // card; Bypasses could not reserve space (everything pinned, or the image
-// exceeds the capacity) and paid an uncached fetch.
+// exceeds the capacity) and paid an uncached fetch. Invalidations are
+// forced removals outside LRU policy: failed fills and poisoned images.
 type CacheStats struct {
-	Hits      uint64
-	Misses    uint64
-	Coalesced uint64
-	Evictions uint64
-	Bypasses  uint64
+	Hits          uint64
+	Misses        uint64
+	Coalesced     uint64
+	Evictions     uint64
+	Bypasses      uint64
+	Invalidations uint64
 }
 
 // CacheEntry is one resident (or loading) bitstream image.
@@ -48,6 +50,8 @@ type CacheEntry struct {
 	pins        int  // references: the in-flight fill plus every live request
 	loading     bool // SD fill still in flight
 	speculative bool // resident due to a prefetch, not demanded yet
+	corrupt     bool // staged bytes are poisoned (injected fault); the
+	// PCAP download will fail CRC and the pipeline must invalidate
 
 	prev, next *CacheEntry
 }
@@ -57,6 +61,9 @@ func (e *CacheEntry) Loading() bool { return e.loading }
 
 // Speculative reports whether the entry was prefetched and never demanded.
 func (e *CacheEntry) Speculative() bool { return e.speculative }
+
+// Corrupt reports whether the staged image is poisoned.
+func (e *CacheEntry) Corrupt() bool { return e.corrupt }
 
 // NewCache returns an empty cache bounded to capacity bytes.
 func NewCache(capacity uint32) *Cache {
@@ -167,6 +174,34 @@ func (c *Cache) Unpin(e *CacheEntry) {
 func (c *Cache) FillDone(e *CacheEntry) {
 	e.loading = false
 	c.Unpin(e)
+}
+
+// FillFailed releases the fill's pin and removes the placeholder: a fill
+// that errored must not leave a pinned loading entry behind — it would
+// never become resident, never be evicted, and leak its reservation
+// forever. Waiters that pinned the entry keep their (now-detached) pins;
+// their completion paths Unpin the orphan harmlessly.
+func (c *Cache) FillFailed(e *CacheEntry) {
+	e.loading = false
+	c.Unpin(e)
+	c.Invalidate(e)
+}
+
+// Invalidate force-removes an entry regardless of pins — the poisoned-
+// image path: a corrupt bitstream must not be served warm, so the moment
+// the PCAP download exposes it the entry leaves the map and the next
+// request for the key re-fetches from the card. Holders of the detached
+// entry may still Unpin it; the pins just never block anything again.
+// A no-op when the entry was already removed (or replaced by a fresh
+// insert of the same key).
+func (c *Cache) Invalidate(e *CacheEntry) {
+	if c.entries[e.Key] != e {
+		return
+	}
+	c.unlink(e)
+	delete(c.entries, e.Key)
+	c.used -= e.Len
+	c.Stats.Invalidations++
 }
 
 // --- intrusive LRU list ---

@@ -67,6 +67,28 @@ func (q *Queue) MeanDepth() float64 {
 	return float64(q.Stats.DepthSum) / float64(q.Stats.Enqueued)
 }
 
+// PurgeOwner removes and returns every waiting request owned by owner,
+// preserving the relative order of the rest — the PD-teardown /
+// capability-revocation path: a dead client's queued reconfigurations
+// must not reach the PCAP (its vGIC is gone and its completion would be
+// delivered to a recycled PD id).
+func (q *Queue) PurgeOwner(owner any) []*Request {
+	var purged []*Request
+	kept := q.items[:0]
+	for _, r := range q.items {
+		if r.Owner == owner {
+			purged = append(purged, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(q.items); i++ {
+		q.items[i] = nil
+	}
+	q.items = kept
+	return purged
+}
+
 // any reports whether some waiting request satisfies pred.
 func (q *Queue) any(pred func(*Request) bool) bool {
 	for _, r := range q.items {

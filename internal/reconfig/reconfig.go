@@ -25,6 +25,7 @@ package reconfig
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/measure"
 	"repro/internal/physmem"
 	"repro/internal/pl"
@@ -98,6 +99,9 @@ type Request struct {
 	submitted simclock.Cycles
 	readyAt   simclock.Cycles
 	seq       uint64
+	// attempts counts PCAP download launches for this request (retries
+	// after CRC failures, watchdog reaps, and PRR config faults).
+	attempts int
 	// pinned is the cache entry this request holds a pin on (nil for
 	// bypass fetches). Completion releases exactly this pin — looking the
 	// key up again would steal a pin from an entry inserted by a later
@@ -117,15 +121,29 @@ type fill struct {
 	// flow is the trace flow id of the demand request that started the
 	// fill (0 for speculative fills).
 	flow uint64
+	// attempts counts SD read launches (the first try plus retries).
+	attempts int
+	// corrupt marks the staged image poisoned (injected fault): the
+	// entry is served but its PCAP download will fail CRC.
+	corrupt bool
 }
 
 // Stats counts pipeline-level outcomes (cache/queue/prefetch keep their
-// own).
+// own). The second block is the fault-tolerance ledger: how the pipeline
+// *reacted* to injected faults (the injector's own Stats count what was
+// injected).
 type Stats struct {
 	Requests    uint64 // demand requests submitted
 	Queued      uint64 // requests that waited for the PCAP channel
 	Completions uint64
 	Failures    uint64
+
+	Retries         uint64 // SD or PCAP legs relaunched after a fault
+	Timeouts        uint64 // stalled PCAP transfers reaped by the watchdog
+	PoisonEvictions uint64 // corrupt cache entries invalidated after CRC failure
+	Quarantines     uint64 // PRRs quarantined for repeated config faults
+	FaultedRequests uint64 // requests failed after exhausting retries
+	Purged          uint64 // requests removed by owner teardown/revocation
 }
 
 // Pipeline owns the PCAP on behalf of the kernel: all managed
@@ -154,11 +172,26 @@ type Pipeline struct {
 	// belongs to.
 	Trace *trace.Ring
 
+	// Inject, when set, is the scenario's deterministic fault plan. It
+	// must only be consulted from the pipeline's own (manager-core)
+	// goroutine; nil means a fault-free run and zero overhead.
+	Inject *fault.Injector
+
 	Stats Stats
 
 	active      *Request
 	fills       []*fill
 	fillRunning bool
+
+	// watchdog reaps a stalled PCAP transfer: armed at every kick for
+	// ~2x the expected latency, cancelled by normal completion.
+	watchdog *simclock.Event
+
+	// prrFaults/prrQuar track per-PRR config-fault health. Indexed by
+	// target PRR, grown on demand; mutated only on the pipeline
+	// goroutine and read by the manager (whose Handle runs there too).
+	prrFaults []int
+	prrQuar   []bool
 }
 
 // New builds a pipeline over the fabric's PCAP and installs its
@@ -262,7 +295,7 @@ func (p *Pipeline) ready(r *Request) {
 	p.Stats.Queued++
 }
 
-// start kicks the PCAP download for r.
+// start claims the PCAP channel for r and kicks its first download.
 func (p *Pipeline) start(r *Request) {
 	p.active = r
 	if p.Probes != nil {
@@ -271,6 +304,30 @@ func (p *Pipeline) start(r *Request) {
 	if r.OnStart != nil {
 		r.OnStart(r)
 	}
+	p.kick(r)
+}
+
+// kick programs the devcfg registers and launches one download attempt
+// (the first, or a retry after a fault). Injected PCAP faults are armed
+// on the device here, and the watchdog that reaps a stalled transfer is
+// set for about twice the fault-free latency.
+func (p *Pipeline) kick(r *Request) {
+	r.attempts++
+	// A poisoned staged image always fails its CRC check; otherwise
+	// consult the fault plan for this attempt's fate.
+	if r.pinned != nil && r.pinned.corrupt {
+		p.Fabric.PCAP.InjectFault(pl.FaultCRC)
+	} else {
+		out := p.Inject.PCAPStart(r.Key, r.Target)
+		switch {
+		case out.CRC:
+			p.Trace.Emit(p.Clock.Now(), trace.KindFaultInject, r.Flow, trace.FaultPCAPCRC, uint64(r.Key))
+			p.Fabric.PCAP.InjectFault(pl.FaultCRC)
+		case out.Stall:
+			p.Trace.Emit(p.Clock.Now(), trace.KindFaultInject, r.Flow, trace.FaultPCAPStall, uint64(r.Key))
+			p.Fabric.PCAP.InjectFault(pl.FaultStall)
+		}
+	}
 	dc := physmem.DevCfgBase
 	_ = p.Bus.Write32(dc+pl.PCAPRegSrc, uint32(p.StorePA)+r.SrcOff)
 	_ = p.Bus.Write32(dc+pl.PCAPRegLen, r.Len)
@@ -278,22 +335,77 @@ func (p *Pipeline) start(r *Request) {
 	_ = p.Bus.Write32(dc+pl.PCAPRegCtrl, 1)
 	p.Clock.Advance(pcapProgramCycles)
 	p.Trace.Emit(p.Clock.Now(), trace.KindPCAPStart, r.Flow, uint64(r.Target), uint64(r.Len))
+	if p.Inject != nil {
+		p.watchdog = p.Clock.After(2*pl.TransferCycles(int(r.Len))+pcapProgramCycles, func(simclock.Cycles) {
+			p.watchdogFire(r)
+		})
+	}
 }
 
-// pcapComplete is the device completion hook: account the finished
-// request, feed the prefetcher, and drain the queue (demand work first,
-// then speculative fills in the idle window).
-func (p *Pipeline) pcapComplete(target int, ok bool) {
-	r := p.active
-	if r == nil || r.Target != target {
-		return // a transfer the pipeline did not launch (direct device use)
+// watchdogFire reaps a PCAP transfer that blew past twice its expected
+// latency: abort the hung download and retry (or fail) the request.
+func (p *Pipeline) watchdogFire(r *Request) {
+	p.watchdog = nil
+	if p.active != r {
+		return // completed in the same instant; nothing to reap
 	}
+	p.Fabric.PCAP.Abort()
+	p.Stats.Timeouts++
+	p.retryOrFail(r)
+}
+
+// retryOrFail relaunches the active request's download with exponential
+// backoff, or fails it once its retry budget is spent. The request keeps
+// the channel during backoff — head-of-line, but deterministic and
+// bounded. Without a fault plan there is nothing transient to outwait
+// (a decode failure is structural), so the request fails immediately —
+// the seed pipeline's behavior.
+func (p *Pipeline) retryOrFail(r *Request) {
+	if p.Inject == nil {
+		p.failActive(r)
+		return
+	}
+	cfg := p.Inject.Config()
+	if r.attempts > cfg.MaxRetries {
+		p.failActive(r)
+		return
+	}
+	p.Stats.Retries++
+	p.Trace.Emit(p.Clock.Now(), trace.KindReconfigRetry, r.Flow, uint64(r.Key), uint64(r.attempts))
+	p.Clock.After(backoff(cfg, r.attempts), func(simclock.Cycles) {
+		if p.active == r {
+			p.kick(r)
+		}
+	})
+}
+
+// backoff returns attempt n's retry delay: BackoffBase << (n-1), shift
+// clamped so a misconfigured retry budget cannot overflow.
+func backoff(cfg fault.Config, attempts int) simclock.Cycles {
+	shift := attempts - 1
+	if shift > 16 {
+		shift = 16
+	}
+	if shift < 0 {
+		shift = 0
+	}
+	return cfg.BackoffBase << shift
+}
+
+// failActive fails the request holding the PCAP channel and drains the
+// queue behind it.
+func (p *Pipeline) failActive(r *Request) {
 	p.active = nil
-	okBit := uint64(0)
-	if ok {
-		okBit = 1
+	p.Stats.FaultedRequests++
+	p.finishRequest(r, false)
+	if next := p.Queue.Pop(); next != nil {
+		p.start(next)
 	}
-	p.Trace.Emit(p.Clock.Now(), trace.KindPCAPDone, r.Flow, uint64(r.Target), okBit)
+}
+
+// finishRequest is the common request epilogue: release the cache pin,
+// count, sample the latency probe, and fire OnDone.
+func (p *Pipeline) finishRequest(r *Request, ok bool) {
 	if r.pinned != nil {
 		p.Cache.Unpin(r.pinned)
 		r.pinned = nil
@@ -314,13 +426,141 @@ func (p *Pipeline) pcapComplete(target int, ok bool) {
 	if r.OnDone != nil {
 		r.OnDone(r, ok)
 	}
+}
+
+// pcapComplete is the device completion hook: account the finished
+// request, feed the prefetcher, and drain the queue (demand work first,
+// then speculative fills in the idle window). Failed downloads retry
+// within their budget; a poisoned image is invalidated and re-fetched
+// from the card; a completed download may still draw a transient PRR
+// config fault, feeding the quarantine counter.
+func (p *Pipeline) pcapComplete(target int, ok bool) {
+	r := p.active
+	if r == nil || r.Target != target {
+		return // a transfer the pipeline did not launch (direct device use)
+	}
+	if p.watchdog != nil {
+		p.Clock.Cancel(p.watchdog)
+		p.watchdog = nil
+	}
+	okBit := uint64(0)
+	if ok {
+		okBit = 1
+	}
+	p.Trace.Emit(p.Clock.Now(), trace.KindPCAPDone, r.Flow, uint64(r.Target), okBit)
+
+	if !ok {
+		if r.pinned != nil && r.pinned.corrupt {
+			// Poisoned image: the CRC failure is structural, not
+			// transient — invalidate the entry so it can never be served
+			// warm again, then re-fetch from the card (same retry
+			// budget).
+			p.Stats.PoisonEvictions++
+			e := r.pinned
+			p.Cache.Unpin(e)
+			r.pinned = nil
+			p.Cache.Invalidate(e)
+			cfg := p.Inject.Config()
+			if r.attempts > cfg.MaxRetries {
+				p.failActive(r)
+				return
+			}
+			p.Stats.Retries++
+			p.Trace.Emit(p.Clock.Now(), trace.KindReconfigRetry, r.Flow, uint64(r.Key), uint64(r.attempts))
+			p.refetch(r)
+			return
+		}
+		p.retryOrFail(r)
+		return
+	}
+
+	// The download landed; a transient PRR config fault can still spoil
+	// the configuration. Repeated faults quarantine the region.
+	if p.Inject.PRRConfig(r.Target) {
+		p.Trace.Emit(p.Clock.Now(), trace.KindFaultInject, r.Flow, trace.FaultPRR, uint64(r.Target))
+		p.notePRRFault(r.Target)
+		if p.Quarantined(r.Target) {
+			// No point retrying into a quarantined region; the manager
+			// re-places the task on a healthy PRR on the client's retry.
+			p.failActive(r)
+			return
+		}
+		p.retryOrFail(r)
+		return
+	}
+
+	p.active = nil
+	p.finishRequest(r, true)
 	if next := p.Queue.Pop(); next != nil {
 		p.start(next)
 		return
 	}
-	if ok {
-		p.maybePrefetch(r.Key)
+	p.maybePrefetch(r.Key)
+}
+
+// refetch sends the active request's image back through the SD path
+// after its poisoned cache entry was invalidated. The request releases
+// the PCAP channel (the queue drains behind it) and rejoins via ready()
+// once a fresh copy is staged. A second victim of the same poisoned
+// entry may find a fresh entry (or fill) already present — join it
+// rather than double-inserting the key.
+func (p *Pipeline) refetch(r *Request) {
+	p.active = nil
+	r.warm = false
+	if e := p.Cache.Peek(r.Key); e != nil {
+		p.Cache.Pin(e)
+		r.pinned = e
+		if !e.loading {
+			p.ready(r)
+		} else if f := p.fillFor(r.Key); f != nil {
+			f.waiters = append(f.waiters, r)
+		} else {
+			p.Cache.FillDone(e)
+			p.ready(r)
+		}
+	} else {
+		e := p.Cache.Insert(r.Key, r.Len, false)
+		if e != nil {
+			p.Cache.Pin(e)
+			r.pinned = e
+		}
+		p.enqueueFill(&fill{key: r.Key, length: r.Len, entry: e, waiters: []*Request{r}, flow: r.Flow})
 	}
+	if p.active == nil {
+		if next := p.Queue.Pop(); next != nil {
+			p.start(next)
+		}
+	}
+}
+
+// notePRRFault bumps target's health counter, quarantining it at the
+// configured threshold.
+func (p *Pipeline) notePRRFault(target int) {
+	for len(p.prrFaults) <= target {
+		p.prrFaults = append(p.prrFaults, 0)
+		p.prrQuar = append(p.prrQuar, false)
+	}
+	p.prrFaults[target]++
+	if !p.prrQuar[target] && p.prrFaults[target] >= p.Inject.Config().QuarantineAfter {
+		p.prrQuar[target] = true
+		p.Stats.Quarantines++
+		p.Trace.Emit(p.Clock.Now(), trace.KindPRRQuarantine, 0, uint64(target), uint64(p.prrFaults[target]))
+	}
+}
+
+// Quarantined reports whether PRR target is out of the placement pool.
+// Safe wherever pipeline state is readable: the manager's Handle runs on
+// the same core goroutine that mutates it.
+func (p *Pipeline) Quarantined(target int) bool {
+	return target < len(p.prrQuar) && p.prrQuar[target]
+}
+
+// PRRFaults returns target's accumulated config-fault count.
+func (p *Pipeline) PRRFaults(target int) int {
+	if target < len(p.prrFaults) {
+		return p.prrFaults[target]
+	}
+	return 0
 }
 
 // maybePrefetch issues a speculative cache fill for the predicted
@@ -368,12 +608,72 @@ func (p *Pipeline) enqueueFill(f *fill) {
 }
 
 func (p *Pipeline) runFill() {
-	f := p.fills[0]
 	p.fillRunning = true
+	p.startRead(p.fills[0])
+}
+
+// startRead launches one SD read attempt for the fill at the head of the
+// engine, consulting the fault plan for its fate: an injected error
+// fails the attempt after the command setup, a stall completes it at a
+// multiple of the modelled latency, and a corruption stages poisoned
+// bytes that the PCAP leg will reject.
+func (p *Pipeline) startRead(f *fill) {
+	f.attempts++
 	p.Trace.Emit(p.Clock.Now(), trace.KindFillStart, f.flow, uint64(f.key), uint64(f.length))
-	p.Clock.After(SDFetchCycles(int(f.length)), func(simclock.Cycles) {
+	out := p.Inject.SDFill(f.key)
+	if out.Err {
+		p.Trace.Emit(p.Clock.Now(), trace.KindFaultInject, f.flow, trace.FaultSDError, uint64(f.key))
+		p.Clock.After(sdSetupCycles, func(simclock.Cycles) {
+			p.fillErr(f)
+		})
+		return
+	}
+	delay := SDFetchCycles(int(f.length))
+	if out.Stall {
+		p.Trace.Emit(p.Clock.Now(), trace.KindFaultInject, f.flow, trace.FaultSDStall, uint64(f.key))
+		delay *= simclock.Cycles(p.Inject.Config().SDStallFactor)
+	}
+	if out.Corrupt {
+		p.Trace.Emit(p.Clock.Now(), trace.KindFaultInject, f.flow, trace.FaultCorrupt, uint64(f.key))
+		f.corrupt = true
+	}
+	p.Clock.After(delay, func(simclock.Cycles) {
 		p.fillDone(f)
 	})
+}
+
+// fillErr handles a failed SD read: retry with exponential backoff while
+// the budget lasts (the fill keeps the single SD channel), then fail
+// every waiter and drop the placeholder entry so the cache cannot leak
+// pinned garbage.
+func (p *Pipeline) fillErr(f *fill) {
+	cfg := p.Inject.Config()
+	if f.attempts <= cfg.MaxRetries {
+		p.Stats.Retries++
+		p.Trace.Emit(p.Clock.Now(), trace.KindReconfigRetry, f.flow, uint64(f.key), uint64(f.attempts))
+		p.Clock.After(backoff(cfg, f.attempts), func(simclock.Cycles) {
+			p.startRead(f)
+		})
+		return
+	}
+	// Exhausted: the image cannot be staged.
+	p.fills = p.fills[1:]
+	p.fillRunning = false
+	p.Trace.Emit(p.Clock.Now(), trace.KindFillDone, f.flow, uint64(f.key), 1)
+	for _, w := range f.waiters {
+		if w.pinned != nil {
+			p.Cache.Unpin(w.pinned)
+			w.pinned = nil
+		}
+		p.Stats.FaultedRequests++
+		p.finishRequest(w, false)
+	}
+	if f.entry != nil {
+		p.Cache.FillFailed(f.entry)
+	}
+	if !p.fillRunning && len(p.fills) > 0 {
+		p.runFill()
+	}
 }
 
 func (p *Pipeline) fillDone(f *fill) {
@@ -381,6 +681,7 @@ func (p *Pipeline) fillDone(f *fill) {
 	p.fillRunning = false
 	p.Trace.Emit(p.Clock.Now(), trace.KindFillDone, f.flow, uint64(f.key), 0)
 	if f.entry != nil {
+		f.entry.corrupt = f.corrupt
 		p.Cache.FillDone(f.entry)
 	}
 	for _, w := range f.waiters {
@@ -402,6 +703,51 @@ func (p *Pipeline) fillFor(key uint32) *fill {
 		}
 	}
 	return nil
+}
+
+// PurgeOwner removes every trace of owner from the pipeline — queued
+// requests, fill waiters, and the active transfer's callbacks — and
+// returns how many requests it touched. The kernel calls it when the
+// owning PD dies or its capabilities are revoked: purged requests
+// release their cache pins and never fire OnStart/OnDone (their vGIC is
+// gone); an active transfer cannot be yanked off the device, so it is
+// orphaned instead — it completes on the hardware's schedule with no
+// observer. Fill reads whose only waiters were purged still land (the
+// staged image stays useful), they just wake nobody.
+func (p *Pipeline) PurgeOwner(owner any) int {
+	n := 0
+	drop := func(r *Request) {
+		if r.pinned != nil {
+			p.Cache.Unpin(r.pinned)
+			r.pinned = nil
+		}
+		r.OnStart, r.OnDone = nil, nil
+		n++
+	}
+	for _, r := range p.Queue.PurgeOwner(owner) {
+		drop(r)
+	}
+	for _, f := range p.fills {
+		kept := f.waiters[:0]
+		for _, w := range f.waiters {
+			if w.Owner == owner {
+				drop(w)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		for i := len(kept); i < len(f.waiters); i++ {
+			f.waiters[i] = nil
+		}
+		f.waiters = kept
+	}
+	if r := p.active; r != nil && r.Owner == owner {
+		r.OnStart, r.OnDone = nil, nil
+		r.Owner = nil
+		n++
+	}
+	p.Stats.Purged += uint64(n)
+	return n
 }
 
 // InFlight reports whether any demand request targeting PRR prr is still
@@ -458,6 +804,14 @@ func (p *Pipeline) PublishCounters(set *measure.Set) {
 	set.SetCounter("reconfig_prefetch_hits", float64(fs.Hits))
 	set.SetCounter("pcap_transfers", float64(p.Fabric.PCAP.Transfers))
 	set.SetCounter("pcap_errors", float64(p.Fabric.PCAP.Errors))
+	if p.Inject != nil {
+		set.SetCounter("fault_injected", float64(p.Inject.Stats.Total()))
+		set.SetCounter("fault_retries", float64(p.Stats.Retries))
+		set.SetCounter("fault_timeouts", float64(p.Stats.Timeouts))
+		set.SetCounter("fault_poison_evictions", float64(p.Stats.PoisonEvictions))
+		set.SetCounter("fault_quarantines", float64(p.Stats.Quarantines))
+		set.SetCounter("fault_failed_requests", float64(p.Stats.FaultedRequests))
+	}
 }
 
 // Summary renders the one-line reconfiguration report the experiment

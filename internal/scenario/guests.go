@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"repro/internal/abi"
 	"repro/internal/apps"
 	"repro/internal/experiments"
 	"repro/internal/hwtask"
@@ -25,6 +26,13 @@ func newPicker(vm VM, vmIndex int, seed uint32) *experiments.TaskPicker {
 // With ReleaseEvery set it periodically hands the task back to the
 // manager, churning the IRQ register/unregister path on top of the
 // reclaim churn the shared pool already produces.
+//
+// The driver is a well-behaved QoS citizen: a Throttled or Retry answer
+// from the admission guards doubles a backoff added to the churn gap
+// (breaker rejections back off harder — the breaker's cooldown outlasts
+// a bucket refill), and any success resets it. StatusFaulted answers
+// (retries exhausted, regions quarantined) are counted and retried at
+// the normal cadence — the fault plan is transient by construction.
 func (s *System) churnTask(p *vmProbe, vmIndex int, seed uint32) func(t *ucos.Task) {
 	vm := p.spec
 	return func(t *ucos.Task) {
@@ -32,10 +40,14 @@ func (s *System) churnTask(p *vmProbe, vmIndex int, seed uint32) func(t *ucos.Ta
 		if _, ok := t.OS.M.SetupDataSection(64 << 10); !ok {
 			panic("scenario: data section setup failed")
 		}
+		backoff := uint32(0)
 		for n := 1; ; n++ {
 			id := pick.Next()
+			t0 := t.OS.M.Now()
 			h, st := t.AcquireHw(id)
 			if h != nil {
+				p.acq.Add(t.OS.M.Now() - t0)
+				backoff = 0
 				length, param := experiments.TaskParams(id)
 				if h.Run(t, 0x1000, 0x9000, length, param, 400) {
 					p.requests++
@@ -45,10 +57,25 @@ func (s *System) churnTask(p *vmProbe, vmIndex int, seed uint32) func(t *ucos.Ta
 				if vm.ReleaseEvery > 0 && n%vm.ReleaseEvery == 0 {
 					t.ReleaseHw(h)
 				}
-			} else if st == hwtask.ReplyBusy {
-				p.busy++
+			} else {
+				switch st {
+				case hwtask.ReplyBusy:
+					p.busy++
+				case abi.StatusThrottled:
+					p.throttled++
+					if backoff < 16 {
+						backoff = backoff*2 + 1
+					}
+				case abi.StatusRetry:
+					p.retried++
+					if backoff < 64 {
+						backoff = backoff*2 + 4
+					}
+				case abi.StatusFaulted:
+					p.faulted++
+				}
 			}
-			t.Delay(vm.HwGapTicks)
+			t.Delay(vm.HwGapTicks + backoff)
 		}
 	}
 }

@@ -18,8 +18,10 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/gic"
 	"repro/internal/hwtask"
+	"repro/internal/measure"
 	"repro/internal/nova"
 	"repro/internal/pl"
 	"repro/internal/sched"
@@ -103,6 +105,13 @@ type Spec struct {
 	// TraceCapacity overrides the per-core ring capacity (0 = default).
 	TraceCapacity int
 
+	// Faults is the scenario's deterministic fault plan (zero = no
+	// injection). Its Seed defaults to the spec's Seed, so the fault
+	// sequence is reproducible from the scenario alone.
+	Faults fault.Config
+	// QoS arms the kernel's manager-portal admission guards (zero = off).
+	QoS nova.QoSConfig
+
 	VMs []VM
 }
 
@@ -133,8 +142,16 @@ type vmProbe struct {
 	requests     uint64 // completed hardware-task runs
 	failures     uint64 // runs that returned false (timeout, DMA error)
 	busy         uint64 // ReplyBusy answers
+	throttled    uint64 // StatusThrottled answers (QoS bucket empty)
+	retried      uint64 // StatusRetry answers (circuit breaker open)
+	faulted      uint64 // StatusFaulted answers (retries exhausted / PRRs down)
 	stormHandled uint64 // storm ISR dispatches
 	output       uint64 // workload digest (0 when no workload)
+
+	// acq records every successful acquire's request→ready latency
+	// (manager portal IPC plus any reconfiguration wait), with samples
+	// retained so interference probes can report percentiles.
+	acq measure.Probe
 }
 
 // System is a fully wired scenario instance.
@@ -173,6 +190,14 @@ func Build(spec Spec) *System {
 		k.Reconfig.SetCacheCapacity(spec.CacheBytes)
 	}
 	k.Reconfig.PrefetchOn = !spec.PrefetchOff
+	if spec.Faults.Enabled() {
+		fc := spec.Faults
+		if fc.Seed == 0 {
+			fc.Seed = mix(spec.Seed, 0xFA17)
+		}
+		k.Reconfig.Inject = fault.New(fc)
+	}
+	k.EnableQoS(spec.QoS)
 
 	mgr := hwtask.NewManager(len(caps), nova.GuestUserBase+0x10_0000)
 	if err := hwtask.InstallTaskSet(mgr, k.Bus, nova.BitstreamStorePA(), caps, hwtask.PaperTaskSet()); err != nil {
@@ -203,6 +228,7 @@ func (s *System) addVM(idx int, vm VM) {
 		vm.Priority = nova.PrioGuest
 	}
 	p := &vmProbe{spec: vm}
+	p.acq.Keep = true // retain samples: interference probes report p99s
 	seed := mix(s.Spec.Seed, uint32(idx))
 
 	g := &ucos.Guest{GuestName: vm.Name}
@@ -306,12 +332,25 @@ type Result struct {
 	Reconfigs    uint64 // pipeline completions
 	PrefetchHits uint64
 
+	// Fault-tolerance and QoS ledger (all zero on fault-free, QoS-off
+	// runs; all covered by the checksum).
+	FaultsInjected uint64 // injector events across every class
+	Retries        uint64 // pipeline retry launches
+	Quarantines    uint64 // PRRs pulled from placement
+	FaultedReqs    uint64 // requests failed after exhausting retries
+	Throttled      uint64 // QoS bucket denials across all VMs
+	BreakerTrips   uint64 // circuit-breaker trips across all VMs
+
 	// Capability-space traffic (aggregated over the kernel root space
 	// and every PD's table; all covered by the checksum).
 	CapLookups     uint64
 	CapDenials     uint64 // failed resolutions of any kind
 	CapDelegations uint64
 	IPCFastCalls   uint64 // same-core synchronous portal handoffs
+
+	// VMStats carries each VM's counters and acquire-latency percentiles
+	// in spec order (the interference probes read them by name).
+	VMStats []VMStat
 
 	// Detail is the exact state dump the checksum is computed over —
 	// diffing two runs' details localizes a replay divergence.
@@ -322,6 +361,22 @@ type Result struct {
 	TraceEvents uint64        // events emitted across all cores (incl. dropped)
 	TraceDrops  uint64        // events evicted from full rings
 	Trace       *trace.Tracer // nil when the spec did not enable tracing
+}
+
+// VMStat is one VM's slice of the result: its request/denial counters
+// and the request→ready latency distribution of its successful acquires.
+type VMStat struct {
+	Name      string
+	Requests  uint64
+	Failures  uint64
+	Busy      uint64
+	Throttled uint64 // QoS bucket denials seen by the guest
+	Retried   uint64 // breaker-open answers seen by the guest
+	Faulted   uint64 // StatusFaulted unwinds seen by the guest
+
+	AcqCount uint64          // successful acquires sampled
+	AcqP50   simclock.Cycles // median request→ready latency
+	AcqP99   simclock.Cycles // tail request→ready latency
 }
 
 // Run executes the scenario for its simulated budget, computes the state
@@ -398,6 +453,19 @@ func (s *System) collect() Result {
 		d.addf("vm %s requests %d failures %d busy %d storm %d ticks %d workload %s output %d",
 			p.spec.Name, p.requests, p.failures, p.busy, p.stormHandled, ticks,
 			p.spec.Workload, p.output)
+		denials, trips, rejections := k.QoSCounters(p.pd)
+		res.Throttled += denials
+		res.BreakerTrips += trips
+		st := VMStat{
+			Name: p.spec.Name, Requests: p.requests, Failures: p.failures,
+			Busy: p.busy, Throttled: p.throttled, Retried: p.retried,
+			Faulted: p.faulted, AcqCount: p.acq.Count,
+			AcqP50: p.acq.Percentile(50), AcqP99: p.acq.Percentile(99),
+		}
+		res.VMStats = append(res.VMStats, st)
+		d.addf("vmqos %s throttled %d retried %d faulted %d bucket %d breaker %d %d acq %d p50 %d p99 %d",
+			p.spec.Name, p.throttled, p.retried, p.faulted,
+			denials, trips, rejections, st.AcqCount, uint64(st.AcqP50), uint64(st.AcqP99))
 	}
 	gs := k.GIC.Stats()
 	d.addf("gic raised %d sgis %d acked %d completed %d spurious %d",
@@ -418,6 +486,19 @@ func (s *System) collect() Result {
 			qs.Enqueued, qs.MaxDepth, qs.DepthSum,
 			fs.Transitions, fs.Issued, fs.Hits, fs.Useless,
 			pipe.Fabric.PCAP.Transfers, pipe.Fabric.PCAP.Errors)
+		res.Retries = pipe.Stats.Retries
+		res.Quarantines = pipe.Stats.Quarantines
+		res.FaultedReqs = pipe.Stats.FaultedRequests
+		var is fault.Stats
+		if pipe.Inject != nil {
+			is = pipe.Inject.Stats
+		}
+		res.FaultsInjected = is.Total()
+		d.addf("faults sd %d %d %d pcap %d %d prr %d retries %d timeouts %d poison %d quarantines %d faulted %d purged %d invalidations %d aborts %d",
+			is.SDErrors, is.SDStalls, is.Corruptions, is.PCAPCRCs, is.PCAPStalls, is.PRRFaults,
+			pipe.Stats.Retries, pipe.Stats.Timeouts, pipe.Stats.PoisonEvictions,
+			pipe.Stats.Quarantines, pipe.Stats.FaultedRequests, pipe.Stats.Purged,
+			cs.Invalidations, pipe.Fabric.PCAP.Aborts)
 	}
 	for _, ph := range checksumPhases {
 		pr := k.Probes.Get(ph)

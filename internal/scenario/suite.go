@@ -5,9 +5,21 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/hwtask"
+	"repro/internal/nova"
 	"repro/internal/sched"
+	"repro/internal/simclock"
 )
+
+// smallTaskMenu is the fault scenarios' churn mix: the small, quickly
+// reconfigured images (short SD stages, sub-millisecond PCAP downloads),
+// so a short horizon still flows enough downloads through the injector's
+// decision sites to exercise every tolerance path.
+var smallTaskMenu = []uint16{
+	hwtask.TaskFFT256, hwtask.TaskFFT512,
+	hwtask.TaskQAM4, hwtask.TaskQAM16, hwtask.TaskQAM64,
+}
 
 // Suite returns the named stress scenarios. short scales the simulated
 // runtime budgets down for CI smoke runs — the topology, VM mix and
@@ -121,6 +133,63 @@ func Suite(short bool) []Spec {
 				{Workload: "adpcm", HwGapTicks: 31},
 				{Workload: "gsm", HwGapTicks: 27},
 				{Workload: "adpcm", HwGapTicks: 27},
+			},
+		},
+		{
+			Name:  "flaky-sd",
+			About: "SD staging reads fail, stall and stage corrupt images through a cache too small to help — retry/backoff and poisoned-cache recovery",
+			Cores: 1, QuantumMs: 8, RunMs: ms(240), Seed: 10,
+			CacheBytes: 64 << 10,
+			Faults:     fault.Config{SDErrorPermille: 250, SDStallPermille: 200, CorruptPermille: 150},
+			VMs: []VM{
+				{Workload: "gsm", HwGapTicks: 3, HwMenu: smallTaskMenu},
+				{HwGapTicks: 3, HwMenu: smallTaskMenu},
+				{Workload: "adpcm", HwGapTicks: 5, HwMenu: smallTaskMenu},
+			},
+		},
+		{
+			Name:  "pcap-crc-storm",
+			About: "PCAP downloads fail CRC or hang — device retries and watchdog reaps under fast cached reconfiguration churn",
+			Cores: 1, QuantumMs: 8, RunMs: ms(200), Seed: 11,
+			CacheBytes: 1 << 20,
+			Faults:     fault.Config{PCAPCRCPermille: 200, PCAPStallPermille: 80},
+			VMs: []VM{
+				{Workload: "gsm", HwGapTicks: 3, HwMenu: smallTaskMenu},
+				{HwGapTicks: 3, HwMenu: smallTaskMenu},
+				{Workload: "adpcm", HwGapTicks: 5, HwMenu: smallTaskMenu},
+				{HwGapTicks: 7, HwMenu: smallTaskMenu},
+			},
+		},
+		{
+			Name:  "prr-degraded",
+			About: "transient PRR config faults quarantine regions — placement falls back to the healthy remainder on two cores",
+			Cores: 2, Policy: "partitioned", QuantumMs: 8, RunMs: ms(240), Seed: 12,
+			CacheBytes:  1 << 20,
+			ServiceCore: sched.MaskOf(1),
+			Faults:      fault.Config{PRRFaultPermille: 400, QuarantineAfter: 2},
+			VMs: []VM{
+				{Workload: "gsm", HwGapTicks: 3, HwMenu: smallTaskMenu, Affinity: sched.MaskOf(0)},
+				{HwGapTicks: 3, HwMenu: smallTaskMenu, Affinity: sched.MaskOf(0)},
+				{Workload: "adpcm", HwGapTicks: 5, HwMenu: smallTaskMenu, Affinity: sched.MaskOf(0)},
+				{HwGapTicks: 7, HwMenu: smallTaskMenu, Affinity: sched.MaskOf(0)},
+			},
+		},
+		{
+			Name:  "noisy-neighbor",
+			About: "a greedy churn VM hammers the manager beside a critical VM — QoS throttle and circuit breaker confine the interference",
+			Cores: 2, Policy: "partitioned", QuantumMs: 8, RunMs: ms(240), Seed: 13,
+			CacheBytes:  1 << 20,
+			ServiceCore: sched.MaskOf(1),
+			Faults:      fault.Config{SDStallPermille: 500, SDStallFactor: 2},
+			QoS: nova.QoSConfig{
+				BucketCapacity: 3, RefillEvery: simclock.FromMillis(2),
+				TripAt: 10, Cooldown: simclock.FromMillis(8),
+			},
+			VMs: []VM{
+				{Name: "critical", Priority: 2, Affinity: sched.MaskOf(1),
+					HwGapTicks: 7, HwMenu: []uint16{hwtask.TaskQAM16, hwtask.TaskQAM64}},
+				{Name: "greedy", HwGapTicks: 1, ReleaseEvery: 1, Affinity: sched.MaskOf(0),
+					HwMenu: []uint16{hwtask.TaskQAM4}},
 			},
 		},
 	}

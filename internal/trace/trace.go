@@ -99,8 +99,34 @@ const (
 	// KindEpochCommit is one epoch-barrier commit phase of the parallel
 	// engine: A = epoch ordinal, B = closures replayed at this barrier.
 	KindEpochCommit
+	// KindFaultInject is one injected fault firing: Flow = request id
+	// (0 for speculative fills), A = fault class (see FaultSD* below),
+	// B = image key or PRR index depending on the class.
+	KindFaultInject
+	// KindReconfigRetry is the pipeline rescheduling a failed leg:
+	// Flow = request id, A = image key, B = attempt number.
+	KindReconfigRetry
+	// KindPRRQuarantine is a PRR crossing its fault threshold and leaving
+	// the placement pool: A = PRR index, B = fault count.
+	KindPRRQuarantine
+	// KindQoSThrottle is the admission guard refusing a request:
+	// A = client PD id, B = status returned (throttled/retry).
+	KindQoSThrottle
+	// KindBreakerTrip is a client's circuit breaker opening:
+	// A = client PD id, B = charge weight that tripped it.
+	KindBreakerTrip
 
 	numKinds
+)
+
+// Fault classes (Event.A of KindFaultInject).
+const (
+	FaultSDError   = 0 // SD staging read failed
+	FaultSDStall   = 1 // SD staging read stalled
+	FaultCorrupt   = 2 // staged image poisoned
+	FaultPCAPCRC   = 3 // PCAP download CRC failure
+	FaultPCAPStall = 4 // PCAP transfer hang (watchdog reap)
+	FaultPRR       = 5 // transient PRR config fault
 )
 
 // Reconfiguration-submit outcomes (Event.B of KindReconfigSubmit).
@@ -132,6 +158,11 @@ var kindNames = [numKinds]string{
 	KindCompletionIRQ:  "completion_irq",
 	KindIPCCall:        "ipc_call",
 	KindEpochCommit:    "epoch_commit",
+	KindFaultInject:    "fault_inject",
+	KindReconfigRetry:  "reconfig_retry",
+	KindPRRQuarantine:  "prr_quarantine",
+	KindQoSThrottle:    "qos_throttle",
+	KindBreakerTrip:    "breaker_trip",
 }
 
 // categories group kinds for the Chrome exporter's cat field.
@@ -157,6 +188,11 @@ var kindCats = [numKinds]string{
 	KindCompletionIRQ:  "reconfig",
 	KindIPCCall:        "ipc",
 	KindEpochCommit:    "engine",
+	KindFaultInject:    "fault",
+	KindReconfigRetry:  "fault",
+	KindPRRQuarantine:  "fault",
+	KindQoSThrottle:    "qos",
+	KindBreakerTrip:    "qos",
 }
 
 // String returns the schema name of the kind.

@@ -38,7 +38,22 @@ func (t *Task) AcquireHw(taskID uint16) (*HwTask, uint32) {
 		t.OS.RegisterIRQ(g.IRQ, func(int) { sem.Post() })
 	}
 	if g.Status == hwtask.ReplyReconfig {
-		for t.OS.M.ReconfigBusy() {
+		for {
+			st := t.OS.M.ReconfigStatus()
+			if st == abi.StatusFaulted {
+				// The hypervisor exhausted its retry budget on this
+				// download: unwind the half-built grant so the caller can
+				// back off and re-request a (possibly different) region.
+				if g.IRQ != 0 {
+					t.OS.M.DisableIRQ(g.IRQ)
+					delete(t.OS.irqTable, g.IRQ)
+				}
+				t.OS.M.ReleaseHwTask(taskID)
+				return nil, abi.StatusFaulted
+			}
+			if st != abi.StatusReconfig {
+				break
+			}
 			t.Exec(60) // poll loop body
 			t.Delay(1)
 		}

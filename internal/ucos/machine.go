@@ -75,4 +75,9 @@ type Machine interface {
 	ReleaseHwTask(taskID uint16)
 	// ReconfigBusy polls the PCAP completion signal (§IV-E polling mode).
 	ReconfigBusy() bool
+	// ReconfigStatus is the fault-aware poll: StatusReconfig while the
+	// download is still in flight, StatusFaulted when the hypervisor's
+	// retry budget ran out (the guest must release and re-request), and
+	// StatusOK once the region is ready.
+	ReconfigStatus() uint32
 }

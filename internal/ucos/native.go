@@ -3,6 +3,7 @@ package ucos
 import (
 	"strings"
 
+	"repro/internal/abi"
 	"repro/internal/cpu"
 	"repro/internal/gic"
 	"repro/internal/hwtask"
@@ -271,6 +272,15 @@ func (nm *NativeMachine) ReleaseHwTask(taskID uint16) {
 
 // ReconfigBusy implements Machine.
 func (nm *NativeMachine) ReconfigBusy() bool { return nm.Fabric.PCAP.Busy() }
+
+// ReconfigStatus implements Machine: the native baseline has no fault
+// plan, so the download either runs or is done.
+func (nm *NativeMachine) ReconfigStatus() uint32 {
+	if nm.Fabric.PCAP.Busy() {
+		return abi.StatusReconfig
+	}
+	return abi.StatusOK
+}
 
 // InstallBitstreams gives tests access to the default store base.
 func (nm *NativeMachine) StorePA() physmem.Addr { return nativeStorePA }

@@ -159,6 +159,13 @@ func (m *VirtMachine) ReconfigBusy() bool {
 	return m.Env.Hypercall(abi.HcHwTaskStatus, 0) == abi.StatusReconfig
 }
 
+// ReconfigStatus implements Machine: the raw HcHwTaskStatus reply, which
+// distinguishes a download still in flight (StatusReconfig) from one the
+// kernel gave up on (StatusFaulted).
+func (m *VirtMachine) ReconfigStatus() uint32 {
+	return m.Env.Hypercall(abi.HcHwTaskStatus, 0)
+}
+
 // Guest adapts an OS factory to nova.Guest so a uC/OS-II instance can be
 // created as a protection domain. Setup runs once after boot to create
 // the instance's tasks.
