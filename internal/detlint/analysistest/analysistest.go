@@ -1,0 +1,229 @@
+// Package analysistest runs a detlint analyzer over fixture packages
+// and checks its diagnostics against `// want` comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract on the standard
+// library only.
+//
+// Fixtures live under <testdata>/src/<import/path>/*.go, so a fixture
+// package can carry any import path — the analyzers scope themselves by
+// path suffix (example.com/internal/nova exercises the simulation-
+// package scope; example.com/other/tool exercises the boundary).
+// Fixture-local imports resolve from source; everything else resolves
+// from the real toolchain's export data via `go list -export`.
+//
+// A want comment expects one or more diagnostics on its line:
+//
+//	for k := range m { // want `range over map`
+//
+// Each backquoted or double-quoted string is a regexp that must match
+// the message of exactly one diagnostic reported on that line.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/detlint"
+	"repro/internal/detlint/analysis"
+	"repro/internal/detlint/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run applies the analyzer to each fixture package (an import path
+// under dir/src) and reports mismatches against // want comments
+// through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	r := &runner{
+		t:       t,
+		src:     filepath.Join(dir, "src"),
+		fset:    token.NewFileSet(),
+		checked: make(map[string]*load.Package),
+	}
+	for _, path := range pkgPaths {
+		pkg := r.check(path)
+		if pkg == nil {
+			continue
+		}
+		diags, err := detlint.RunPackage(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: running %s: %v", path, a.Name, err)
+			continue
+		}
+		r.match(path, pkg, diags)
+	}
+}
+
+type runner struct {
+	t       *testing.T
+	src     string
+	fset    *token.FileSet
+	checked map[string]*load.Package
+	exports map[string]string // lazily built std/export-data table
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// check type-checks one fixture package (memoized), resolving fixture
+// imports from source and the rest from export data.
+func (r *runner) check(path string) *load.Package {
+	r.t.Helper()
+	if pkg, ok := r.checked[path]; ok {
+		return pkg
+	}
+	r.checked[path] = nil // break import cycles
+	dir := filepath.Join(r.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		r.t.Errorf("fixture package %s: %v", path, err)
+		return nil
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	imp := importerFunc(func(ipath string) (*types.Package, error) {
+		if ipath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if _, err := os.Stat(filepath.Join(r.src, filepath.FromSlash(ipath))); err == nil {
+			dep := r.check(ipath)
+			if dep == nil || dep.Types == nil {
+				return nil, fmt.Errorf("fixture dependency %q failed to load", ipath)
+			}
+			return dep.Types, nil
+		}
+		return r.stdImporter().Import(ipath)
+	})
+	pkg, err := load.Check(r.fset, path, dir, goFiles, imp)
+	if err != nil {
+		r.t.Errorf("fixture package %s: %v", path, err)
+		return nil
+	}
+	r.checked[path] = pkg
+	return pkg
+}
+
+// stdImporter builds (once) an export-data importer over the standard
+// library, using the local toolchain's build cache.
+func (r *runner) stdImporter() types.ImporterFrom {
+	r.t.Helper()
+	if r.exports == nil {
+		listed, err := load.GoList(".", "std")
+		if err != nil {
+			r.t.Fatalf("listing std export data: %v", err)
+		}
+		r.exports = load.Exports(listed)
+	}
+	return load.ExportImporter(r.fset, r.exports)
+}
+
+var wantRE = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// match compares reported diagnostics to the fixture's want comments.
+func (r *runner) match(path string, pkg *load.Package, diags []detlint.Diagnostic) {
+	r.t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				for _, m := range wantRE.FindAllString(rest, -1) {
+					pat := m
+					if strings.HasPrefix(pat, `"`) {
+						unq, err := strconv.Unquote(pat)
+						if err != nil {
+							r.t.Errorf("%s:%d: bad want string %s: %v", k.file, k.line, pat, err)
+							continue
+						}
+						pat = unq
+					} else {
+						pat = strings.Trim(pat, "`")
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						r.t.Errorf("%s:%d: bad want regexp %q: %v", k.file, k.line, pat, err)
+						continue
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		file, line := splitPosition(d.Position)
+		k := key{file, line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			r.t.Errorf("%s: unexpected diagnostic at %s:%d: %s", path, file, line, d.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			if re != nil {
+				r.t.Errorf("%s: missing diagnostic at %s:%d matching %q", path, k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// splitPosition extracts base filename and line from "path:line:col".
+func splitPosition(pos string) (string, int) {
+	parts := strings.Split(pos, ":")
+	if len(parts) < 2 {
+		return pos, 0
+	}
+	line, _ := strconv.Atoi(parts[len(parts)-2])
+	return filepath.Base(strings.Join(parts[:len(parts)-2], ":")), line
+}

@@ -1,0 +1,29 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"repro/internal/detlint"
+)
+
+// TestTreeClean runs the full analyzer suite over the repository and
+// requires zero findings: every map range is sorted or justified, every
+// host-clock read is annotated, every status dispatch is exhaustive,
+// and the trace emit path honors the writer discipline. A finding here
+// means a change landed without running detlint (CI runs it as a
+// blocking step) or an annotation lost its justification.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	diags, err := detlint.Run("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+	if len(diags) > 0 {
+		t.Errorf("detlint found %d violation(s); fix them or annotate with a justified //detlint directive", len(diags))
+	}
+}

@@ -1,0 +1,15 @@
+package exhauststatus_test
+
+import (
+	"testing"
+
+	"repro/internal/detlint/analysistest"
+	"repro/internal/detlint/exhauststatus"
+)
+
+func TestExhaustStatus(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), exhauststatus.Analyzer,
+		"example.com/internal/abi",  // the declaring package's own complete table: clean
+		"example.com/internal/ucos", // client switches/tables: positives + escape hatches
+	)
+}

@@ -1,0 +1,37 @@
+// Fixture ABI package: a miniature of the real internal/abi status
+// block. StatusThrottled plays the role of the PR 8 late addition that
+// clients written earlier silently drop.
+package abi
+
+const (
+	StatusOK = iota
+	StatusReconfig
+	StatusBusy
+	StatusThrottled
+
+	// NumStatusCodes bounds the dense block.
+	NumStatusCodes
+)
+
+// StatusErr is the out-of-band all-ones code, excluded from the
+// required set by the NumStatusCodes bound.
+const StatusErr = ^uint32(0)
+
+// statusNames is complete, so the keyed-table check stays silent here.
+var statusNames = [NumStatusCodes]string{
+	StatusOK:        "ok",
+	StatusReconfig:  "reconfig",
+	StatusBusy:      "busy",
+	StatusThrottled: "throttled",
+}
+
+// StatusName names a status code.
+func StatusName(s uint32) string {
+	if s == StatusErr {
+		return "err"
+	}
+	if s < NumStatusCodes {
+		return statusNames[s]
+	}
+	return "unknown"
+}

@@ -1,0 +1,11 @@
+// Fixture manager package: client-visible Reply* aliases of the ABI
+// statuses, mirroring the real internal/hwtask.
+package hwtask
+
+import "example.com/internal/abi"
+
+const (
+	ReplyOK        = abi.StatusOK
+	ReplyBusy      = abi.StatusBusy
+	ReplyThrottled = abi.StatusThrottled
+)

@@ -1,0 +1,10 @@
+// Boundary fixture: example.com/cmd/tool is not an internal/* package,
+// so host-clock reads are fine here (a CLI printing timestamps is
+// legitimate).
+package tool
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}

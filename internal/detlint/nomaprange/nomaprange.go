@@ -1,0 +1,209 @@
+// Package nomaprange flags `range` statements over maps in simulation
+// packages. Go randomizes map iteration order per run, so any fold over
+// a map that feeds simulated state, a checksummed dump, or a rendered
+// report is a latent nondeterminism bug — exactly the class PR 4 fixed
+// in the vGIC distributor (interrupt lines programmed in map order) and
+// the reconfiguration prefetcher (successor tie-breaks decided by a map
+// fold).
+//
+// Two shapes are accepted without annotation:
+//
+//   - ranging over anything that is not a map (the fix: keep a sorted
+//     slice, or collect keys and sort before iterating), and
+//   - the key-collection idiom itself — a loop whose body only appends
+//     the keys to a slice that is subsequently passed to sort.* or
+//     slices.Sort* in the same block. The collection order is
+//     irrelevant because the sort immediately canonicalizes it.
+//
+// Every other map range needs `//detlint:ordered <why order cannot
+// matter>` on or above the loop.
+package nomaprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/detlint/analysis"
+	"repro/internal/detlint/directive"
+	"repro/internal/detlint/simscope"
+)
+
+// Analyzer is the nomaprange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nomaprange",
+	Doc: "flag range over a map in simulation packages\n\n" +
+		"Map iteration order is randomized; in packages whose state feeds the\n" +
+		"checksummed scenario dump it must be sorted or proven order-independent\n" +
+		"with a //detlint:ordered annotation.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !simscope.Sim(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	dirs := directive.Collect(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		walkStmtLists(f, func(list []ast.Stmt, i int) {
+			rs, ok := list[i].(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return
+			}
+			mt, ok := t.Underlying().(*types.Map)
+			if !ok {
+				return
+			}
+			if d, ok := dirs.For("ordered", rs.Pos()); ok {
+				if d.Reason == "" {
+					pass.Reportf(rs.Pos(), "//detlint:ordered annotation needs a justification (why is iteration order irrelevant here?)")
+				}
+				return
+			}
+			if isSortedCollect(pass, rs, list[i+1:]) {
+				return
+			}
+			pass.Reportf(rs.Pos(), "range over map %s in simulation package %s: iteration order is nondeterministic; sort the keys first or annotate //detlint:ordered <reason>", types.TypeString(mt, qualifier(pass.Pkg)), pass.Pkg.Name())
+		})
+	}
+	return nil, nil
+}
+
+// isSortedCollect recognizes the collect-then-sort idiom: the range
+// body is nothing but appends of the loop variables to slices, and each
+// such slice is later passed to a sort.*/slices.Sort* call in the same
+// enclosing statement list.
+func isSortedCollect(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	// Every statement must be `dst = append(dst, ...)` for a
+	// plain-identifier dst.
+	var dsts []types.Object
+	for _, s := range rs.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+			return false
+		}
+		dst, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || len(call.Args) < 2 {
+			return false
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); !ok || pass.TypesInfo.Uses[arg] != pass.TypesInfo.Uses[dst] {
+			return false
+		}
+		dsts = append(dsts, pass.TypesInfo.Uses[dst])
+	}
+	// Each destination must reach a sort in the rest of the block.
+	for _, dst := range dsts {
+		if dst == nil || !sortedLater(pass, dst, rest) {
+			return false
+		}
+	}
+	return true
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedLater reports whether obj appears as an argument to a sorting
+// call in (or anywhere under) the statements after the loop.
+func sortedLater(pass *analysis.Pass, obj types.Object, rest []ast.Stmt) bool {
+	found := false
+	for _, s := range rest {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				// Accept the slice itself or a slice expression of it
+				// (sort.Slice(keys[1:], ...) and friends).
+				e := arg
+				if sl, ok := e.(*ast.SliceExpr); ok {
+					e = sl.X
+				}
+				if id, ok := e.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}
+
+func qualifier(pkg *types.Package) types.Qualifier {
+	return func(other *types.Package) string {
+		if other == pkg {
+			return ""
+		}
+		return other.Name()
+	}
+}
+
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// walkStmtLists visits every statement list in the file (block bodies,
+// case and comm clauses) and calls fn for each statement with its list
+// context, so checks can look at what follows a statement.
+func walkStmtLists(f *ast.File, fn func(list []ast.Stmt, i int)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i := range list {
+			fn(list, i)
+		}
+		return true
+	})
+}

@@ -1,0 +1,15 @@
+package nomaprange_test
+
+import (
+	"testing"
+
+	"repro/internal/detlint/analysistest"
+	"repro/internal/detlint/nomaprange"
+)
+
+func TestNoMapRange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nomaprange.Analyzer,
+		"example.com/internal/nova", // simulation scope: positives + idioms
+		"example.com/other/tool",    // boundary: out of scope, must be clean
+	)
+}

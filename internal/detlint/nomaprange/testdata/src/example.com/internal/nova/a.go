@@ -1,0 +1,77 @@
+// Fixture for the nomaprange analyzer: example.com/internal/nova lands
+// in the simulation-package scope by path suffix.
+package nova
+
+import (
+	"slices"
+	"sort"
+)
+
+// Fold is the historical bug shape (PR 4's vGIC distributor): a fold
+// whose result depends on iteration order feeding simulated state.
+func Fold(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `range over map map\[string\]float64 in simulation package nova`
+		s += v
+	}
+	return s
+}
+
+// Keys is the collect-then-sort idiom: accepted without annotation.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// KeysSlices uses the slices package sort: also accepted.
+func KeysSlices(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// CollectNoSort collects keys but never sorts them: the result order is
+// still nondeterministic, so it is flagged.
+func CollectNoSort(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want `range over map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Register is a keyed insert: order is unobservable, and the annotation
+// with a reason suppresses the diagnostic.
+func Register(m map[int]string, reg func(int, string)) {
+	//detlint:ordered keyed insert; registration order is unobservable
+	for k, v := range m {
+		reg(k, v)
+	}
+}
+
+// Bare annotations are themselves a finding: the justification is the
+// reviewable artifact.
+func BareAnnotation(m map[int]int) int {
+	n := 0
+	//detlint:ordered
+	for range m { // want `needs a justification`
+		n++
+	}
+	return n
+}
+
+// SliceRange is not a map range: never flagged.
+func SliceRange(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

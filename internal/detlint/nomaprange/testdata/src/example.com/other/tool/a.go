@@ -1,0 +1,12 @@
+// Boundary fixture: example.com/other/tool is not an internal/*
+// simulation package, so nomaprange must stay silent even on a raw map
+// fold.
+package tool
+
+func Fold(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}

@@ -1,0 +1,16 @@
+// Boundary fixture: a type named Ring outside internal/trace is not a
+// trace ring; the discipline does not apply.
+package other
+
+import "sync"
+
+type Ring struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *Ring) Bump() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}

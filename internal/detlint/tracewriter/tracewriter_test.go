@@ -1,0 +1,15 @@
+package tracewriter_test
+
+import (
+	"testing"
+
+	"repro/internal/detlint/analysistest"
+	"repro/internal/detlint/tracewriter"
+)
+
+func TestTraceWriter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), tracewriter.Analyzer,
+		"example.com/internal/trace", // writer types: positives + guard/annotation negatives
+		"example.com/internal/other", // boundary: Ring outside internal/trace is unconstrained
+	)
+}

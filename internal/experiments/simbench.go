@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -143,11 +144,12 @@ func MeasureIPCPortal(rounds int) IPCBenchResult {
 	}
 	sel = uint32(s)
 
+	//detlint:hosttime measures host ns per simulated IPC round trip; never enters simulated state
 	start := time.Now()
 	for !done {
 		k.RunFor(simclock.FromMillis(10))
 	}
-	host := time.Since(start)
+	host := time.Since(start) //detlint:hosttime wall-clock denominator of the IPC benchmark
 
 	p := k.Probes.Get(measure.PhaseIPCCall)
 	res := IPCBenchResult{Rounds: int(p.Count)}
@@ -177,9 +179,10 @@ func MeasureSimThroughput(name string, cfg Config, simMs float64, scalar bool, r
 			core.CPU.ScalarMemPath = scalar
 		}
 		t0 := sys.Kernel.Clock.Now()
+		//detlint:hosttime measures simulator wall-clock throughput (host ms per simulated ms)
 		start := time.Now()
 		sys.Kernel.RunFor(simclock.FromMillis(simMs))
-		hostMs := float64(time.Since(start).Nanoseconds()) / 1e6
+		hostMs := float64(time.Since(start).Nanoseconds()) / 1e6 //detlint:hosttime wall-clock numerator of the throughput benchmark
 		simDelta := (sys.Kernel.Clock.Now() - t0).Millis()
 		var instr uint64
 		for _, core := range sys.Kernel.Cores {
@@ -267,8 +270,15 @@ func (r SimBenchReport) String() string {
 		fmt.Fprintf(&b, "%-22s %-8s %10.1f %10.1f %14.1f %8.1f\n",
 			res.Name, path, res.SimMs, res.HostMs, res.SimMsPerHostS, res.MIPS)
 	}
-	for name, s := range r.Speedups {
-		fmt.Fprintf(&b, "speedup %-22s %.2fx (batched vs scalar)\n", name, s)
+	// Render in sorted-name order so the report is byte-stable run to
+	// run (map iteration order would reshuffle the lines).
+	names := make([]string, 0, len(r.Speedups))
+	for name := range r.Speedups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "speedup %-22s %.2fx (batched vs scalar)\n", name, r.Speedups[name])
 	}
 	for _, p := range r.ParallelSpeedups {
 		ok := "checksums match"

@@ -250,6 +250,7 @@ func BuildVirtSystem(cfg Config) *VirtSystem {
 
 	caps := hwtask.PaperPRRCapacities()
 	fabric := pl.NewFabric(k.Clock, k.Bus, k.GIC, caps)
+	//detlint:ordered RegisterCore is a keyed insert; registration order is unobservable
 	for id, core := range PaperCores() {
 		fabric.RegisterCore(id, core)
 	}

@@ -175,12 +175,11 @@ func (s *Set) CounterNames() []string {
 func (s *Set) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//detlint:ordered every probe is reset independently; no cross-probe state
 	for _, p := range s.probes {
 		*p = Probe{Keep: p.Keep}
 	}
-	for n := range s.counters {
-		delete(s.counters, n)
-	}
+	clear(s.counters)
 }
 
 // Names lists probes in sorted order.

@@ -58,6 +58,10 @@ func (s *System) churnTask(p *vmProbe, vmIndex int, seed uint32) func(t *ucos.Ta
 					t.ReleaseHw(h)
 				}
 			} else {
+				// Only statuses that tune the retry cadence are dispatched;
+				// success codes cannot reach this failure branch and
+				// anything else retries at the base gap.
+				//detlint:partial success statuses unreachable here; unlisted failures use the base backoff
 				switch st {
 				case hwtask.ReplyBusy:
 					p.busy++

@@ -46,19 +46,21 @@ var spanKinds = map[Kind]bool{
 }
 
 func (t *Tracer) selName(sel uint64) string {
-	if t != nil && t.SelectorName != nil {
-		if n := t.SelectorName(int(sel)); n != "" {
-			return n
-		}
+	if t == nil || t.SelectorName == nil {
+		return fmt.Sprintf("sel_%d", sel)
+	}
+	if n := t.SelectorName(int(sel)); n != "" {
+		return n
 	}
 	return fmt.Sprintf("sel_%d", sel)
 }
 
 func (t *Tracer) pdName(id uint64) string {
-	if t != nil && t.PDName != nil {
-		if n := t.PDName(int(id)); n != "" {
-			return n
-		}
+	if t == nil || t.PDName == nil {
+		return fmt.Sprintf("pd%d", id)
+	}
+	if n := t.PDName(int(id)); n != "" {
+		return n
 	}
 	return fmt.Sprintf("pd%d", id)
 }

@@ -66,6 +66,7 @@ func NewNativeMachine(cores map[uint16]pl.Accel) *NativeMachine {
 
 	caps := hwtask.PaperPRRCapacities()
 	fabric := pl.NewFabric(clock, bus, g, caps)
+	//detlint:ordered RegisterCore is a keyed insert; registration order is unobservable
 	for id, core := range cores {
 		fabric.RegisterCore(id, core)
 	}
