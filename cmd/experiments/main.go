@@ -17,6 +17,7 @@
 //	go run ./cmd/experiments -faults    # just the fault-injection/QoS scenarios
 //	go run ./cmd/experiments -faults -fault-seed 99  # same, replaying an alternate fault plan
 //	go run ./cmd/experiments -interference  # noisy-neighbor p99 interference probe
+//	go run ./cmd/experiments -snapshot  # checkpoint/fork clone sweep: boot-vs-fork cost, COW copy rate
 //	go run ./cmd/experiments -iters 40 -guests 4
 package main
 
@@ -50,6 +51,7 @@ func main() {
 		faultsOnly = flag.Bool("faults", false, "restrict the scenario run to the fault-injection/QoS scenarios (implies -scenario)")
 		faultSeed  = flag.Uint("fault-seed", 0, "override the fault-plan seed of the selected fault scenarios (0 = derive from each scenario's seed; implies -faults)")
 		interfere  = flag.Bool("interference", false, "run the noisy-neighbor interference probe: critical-VM p99 under a greedy neighbor vs uncontended baseline")
+		snapSweep  = flag.Bool("snapshot", false, "run the checkpoint/fork clone sweep: simulated boot-vs-fork cost and COW copy rate per fleet size")
 		interOut   = flag.String("interference-out", "", "write the interference report here (implies -interference)")
 		shards     = flag.Int("shards", 0, "run each scenario through the epoch-barrier parallel engine on this many host goroutines (0/1 = sequential reference loop)")
 		cacheKB    = flag.Uint("cachekb", 0, "override the bitstream cache budget in KB (0 = default 1024)")
@@ -73,7 +75,7 @@ func main() {
 	if *scenName != "" || *scenOut != "" || *scenShort || *traceOn || *faultsOnly {
 		*scen = true // the sub-flags imply the scenario run
 	}
-	all := !*table3 && !*fig9 && !*footprint && !*dualcore && !*reconfig && !*bench && !*scen && !*interfere
+	all := !*table3 && !*fig9 && !*footprint && !*dualcore && !*reconfig && !*bench && !*scen && !*interfere && !*snapSweep
 
 	if *interfere {
 		fmt.Printf("running noisy-neighbor interference probe (short=%v)...\n", *scenShort)
@@ -90,6 +92,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "interference bound violated")
 			os.Exit(1)
 		}
+	}
+
+	if *snapSweep {
+		fmt.Printf("running checkpoint/fork clone sweep (short=%v)...\n", *scenShort)
+		fmt.Printf("%-18s %7s %12s %12s %10s %11s %9s\n",
+			"scenario", "clones", "boot_ms", "fork_ms", "fork/boot", "copy_rate", "pool_hit")
+		for _, sf := range scenario.MeasureSnapshotForks(*scenShort) {
+			fmt.Printf("%-18s %7d %12.3f %12.3f %9.2fx %10.1f%% %8.0f%%\n",
+				sf.Name, sf.Clones, sf.ColdBootMs, sf.ForkMs, sf.ForkOverBoot,
+				sf.CopyRate*100, sf.HitRatio*100)
+		}
+		fmt.Println()
 	}
 
 	if *scen {

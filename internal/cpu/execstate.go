@@ -1,0 +1,47 @@
+package cpu
+
+// ExecState is a value snapshot of an ExecContext's replay-relevant
+// state: the fetch cursor, the micro-TLBs, and the I-side residency
+// streak. All of it feeds future cycle charges, so a mid-run checkpoint
+// that wants the restored timeline byte-identical to the uninterrupted
+// one must round-trip it exactly. The fields are unexported on purpose —
+// the checkpoint image carries the value opaquely and hands it back.
+type ExecState struct {
+	cursor  uint32
+	gen     uint64
+	iMicro  microEntry
+	dMicro  [microTLBSize]microEntry
+	dNext   int
+	iEpoch  uint64
+	iClean  uint32
+	stalled bool
+}
+
+// SaveState captures the context's replay-relevant state.
+func (e *ExecContext) SaveState() ExecState {
+	return ExecState{
+		cursor:  e.cursor,
+		gen:     e.gen,
+		iMicro:  e.iMicro,
+		dMicro:  e.dMicro,
+		dNext:   e.dNext,
+		iEpoch:  e.iEpoch,
+		iClean:  e.iClean,
+		stalled: e.Stalled,
+	}
+}
+
+// RestoreState writes a saved snapshot back. Only meaningful on the CPU
+// the snapshot was taken on (micro entries are tagged with that CPU's
+// translation generation; on any other CPU they simply read as stale and
+// refill, which is the safe direction).
+func (e *ExecContext) RestoreState(s ExecState) {
+	e.cursor = s.cursor
+	e.gen = s.gen
+	e.iMicro = s.iMicro
+	e.dMicro = s.dMicro
+	e.dNext = s.dNext
+	e.iEpoch = s.iEpoch
+	e.iClean = s.iClean
+	e.Stalled = s.stalled
+}

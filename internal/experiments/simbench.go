@@ -57,6 +57,33 @@ type SimBenchReport struct {
 	// IPC tracks the portal-IPC fast path from PR to PR (simulated
 	// cycles per same-core call/reply round trip).
 	IPC *IPCBenchResult `json:"ipc_portal,omitempty"`
+	// SnapshotForks is the clone-count sweep of the COW fork path:
+	// simulated boot-vs-fork cost and the COW copy ledger per fleet size.
+	SnapshotForks []SnapshotFork `json:"snapshot_fork,omitempty"`
+}
+
+// SnapshotFork is one fleet-size measurement of checkpoint/fork cloning.
+// All fields are simulated (deterministic) quantities: the benchmark's
+// claim is about simulated cost, not simulator speed.
+type SnapshotFork struct {
+	Name   string `json:"name"`
+	Clones int    `json:"clones"`
+	// ColdBootMs is the template's boot-to-quiescence cost; ForkMs is
+	// what the whole fleet cost instead by forking through the warm pool.
+	ColdBootMs float64 `json:"cold_boot_ms"`
+	ForkMs     float64 `json:"fork_ms"`
+	// ForkOverBoot is ForkMs/ColdBootMs — the fleet-for-one-boot ratio.
+	ForkOverBoot float64 `json:"fork_over_boot"`
+	// FramesShared/FramesCopied split the fleet's pages at run end:
+	// still COW-shared with the image vs. privatized by write faults.
+	FramesShared uint64 `json:"frames_shared"`
+	FramesCopied uint64 `json:"frames_copied"`
+	// CopyRate is the fraction of clone-mapped frames that were copied.
+	CopyRate float64 `json:"copy_rate"`
+	PoolHits   uint64 `json:"pool_hits"`
+	PoolMisses uint64 `json:"pool_misses"`
+	// HitRatio is warm-pool hits over all acquires.
+	HitRatio float64 `json:"hit_ratio"`
 }
 
 // ParallelSpeedup is one scenario × shard-count comparison between the
@@ -82,6 +109,13 @@ var parallelBench func(short bool) []ParallelSpeedup
 // RegisterParallelBench installs the scenario-suite parallel-speedup
 // measurement used by RunSimBench.
 func RegisterParallelBench(f func(short bool) []ParallelSpeedup) { parallelBench = f }
+
+// snapshotBench is wired the same way for the checkpoint/fork sweep.
+var snapshotBench func(short bool) []SnapshotFork
+
+// RegisterSnapshotBench installs the scenario-suite snapshot-fork
+// measurement used by RunSimBench.
+func RegisterSnapshotBench(f func(short bool) []SnapshotFork) { snapshotBench = f }
 
 // IPCBenchResult measures the portal call/reply round trip: a client PD
 // calls a server PD on the same core, the server answers with the
@@ -222,7 +256,7 @@ func RunSimBench(short bool) SimBenchReport {
 		{"reconfig_4vm_2core", DefaultReconfigConfig()},
 	}
 	rep := SimBenchReport{
-		Schema:    3,
+		Schema:    4,
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Short:     short,
@@ -244,6 +278,9 @@ func RunSimBench(short bool) SimBenchReport {
 	rep.IPC = &ipc
 	if parallelBench != nil {
 		rep.ParallelSpeedups = parallelBench(short)
+	}
+	if snapshotBench != nil {
+		rep.SnapshotForks = snapshotBench(short)
 	}
 	return rep
 }
@@ -291,6 +328,10 @@ func (r SimBenchReport) String() string {
 	if r.IPC != nil {
 		fmt.Fprintf(&b, "ipc_portal %d rounds: %.0f sim_cycles/rt (%.2f us), %.0f host_ns/rt, fastpath %.0f%%\n",
 			r.IPC.Rounds, r.IPC.SimCyclesPerRT, r.IPC.SimUsPerRT, r.IPC.HostNsPerRT, r.IPC.FastPathShare*100)
+	}
+	for _, sf := range r.SnapshotForks {
+		fmt.Fprintf(&b, "snapshot_fork %-18s clones=%-4d boot %.3f ms, fork %.3f ms (%.2fx boot), copy_rate %.1f%%, pool hit %.0f%%\n",
+			sf.Name, sf.Clones, sf.ColdBootMs, sf.ForkMs, sf.ForkOverBoot, sf.CopyRate*100, sf.HitRatio*100)
 	}
 	return b.String()
 }

@@ -121,6 +121,26 @@ func (pt *PageTable) MapPage(va uint32, pa physmem.Addr, domain, ap uint8) {
 	mustWrite(pt.bus, l2a, uint32(pa)&^0xFFF|uint32(ap)<<4|descSmall)
 }
 
+// RemapPage rewrites an existing 4 KB small-page mapping in place: the
+// VA moves to a new frame with new AP bits without touching the table
+// structure. This is the copy-on-write break — a shared read-only page
+// becomes a private writable one — so a missing mapping is a kernel bug
+// and panics. The caller charges the edit and flushes the TLB entry.
+func (pt *PageTable) RemapPage(va uint32, pa physmem.Addr, ap uint8) {
+	if va&0xFFF != 0 || uint32(pa)&0xFFF != 0 {
+		panic("mmu: RemapPage requires 4KB alignment")
+	}
+	l1d := mustRead(pt.bus, pt.l1addr(va))
+	if l1d&3 != descCoarse {
+		panic(fmt.Sprintf("mmu: RemapPage in unmapped 1MB slot %#x", va))
+	}
+	l2a := physmem.Addr(l1d&^0x3FF) + physmem.Addr(va>>12&0xFF*4)
+	if mustRead(pt.bus, l2a)&3 != descSmall {
+		panic(fmt.Sprintf("mmu: RemapPage of unmapped page %#x", va))
+	}
+	mustWrite(pt.bus, l2a, uint32(pa)&^0xFFF|uint32(ap)<<4|descSmall)
+}
+
 // UnmapPage removes a 4 KB mapping (descriptor → fault). Unmapping an
 // absent page is a no-op; the caller must flush the TLB entry.
 func (pt *PageTable) UnmapPage(va uint32) {

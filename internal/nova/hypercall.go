@@ -76,6 +76,7 @@ func (k *Kernel) onSWI(c *CoreCtx, sel int, args [4]uint32) uint32 {
 		return StatusErr
 	}
 	pd.Hypercalls++
+	pd.lastHcEntry = t0 // replay anchor for restored suspend exits (clone.go)
 	c.kctx.Exec(costHcDecode)
 	c.kctx.Touch(pd.kdata, false) // PD descriptor lookup
 	// Capability resolution: one access into the PD's capability table

@@ -188,6 +188,12 @@ type Kernel struct {
 	FlushTLBOnSwitch bool
 
 	asidNext uint8
+
+	// Clone arena management (clone.go): bump cursor over the clone
+	// region of DDR plus a LIFO free list of recycled arenas, so a reaped
+	// clone's tables-and-copies arena is handed to the next fork.
+	cloneArenaNext physmem.Addr
+	cloneArenaFree []physmem.Addr
 }
 
 // NewKernel boots a Mini-NOVA kernel on a fresh single-core machine — the
@@ -403,6 +409,21 @@ type PDConfig struct {
 	StartSuspended bool
 }
 
+// nextASID hands out the next address-space identifier. ASIDs are 8-bit
+// on the A9; once clone fleets push past 255 domains the allocator wraps
+// (skipping the reserved 0) and from then on every world switch flushes
+// the TLB — correct, just slower, exactly like an ASID-rollover flush on
+// real hardware.
+func (k *Kernel) nextASID() uint8 {
+	a := k.asidNext
+	k.asidNext++
+	if k.asidNext == 0 {
+		k.asidNext = 1
+		k.FlushTLBOnSwitch = true
+	}
+	return a
+}
+
 // CreatePD builds a protection domain: address space, vCPU, vGIC, and the
 // guest's execution context, then places it on its home core's run or
 // suspend queue.
@@ -423,13 +444,12 @@ func (k *Kernel) CreatePD(cfg PDConfig) *PD {
 		Space:    capspace.NewSpace(SelGrantBase),
 		VGIC:     NewVGIC(),
 		Table:    space.Table,
-		ASID:     k.asidNext,
+		ASID:     k.nextASID(),
 		RAMBase:  space.RAMBase,
 		RAMSize:  space.RAMSize,
 		Guest:    cfg.Guest,
 		kdata:    KernelDataVA + uint32(id)*0x400,
 	}
-	k.asidNext++
 	k.populateCaps(pd, cfg.Caps)
 	if k.hwSvc != nil && pd != k.hwSvc {
 		// The manager acts on clients through delegated PD capabilities:
@@ -860,6 +880,11 @@ func (k *Kernel) onAbort(c *CoreCtx, f *mmu.Fault) bool {
 	c.kctx.Exec(40)
 	if c.Current != nil {
 		c.Current.Faults++
+		// A write through a clone's read-only mapping of a shared frame is
+		// not an offence — it is the copy-on-write break (clone.go).
+		if c.Current.clone != nil && f.Write && f.Kind == mmu.FaultPermission {
+			return k.cowBreak(c, c.Current, f)
+		}
 	}
 	return false
 }
@@ -977,7 +1002,7 @@ func (k *Kernel) maybePreemptFor(pd *PD) {
 // wake moves a PD into its home core's run queue and preempts if it
 // outranks that core's current PD.
 func (k *Kernel) wake(pd *PD) {
-	if pd.dead {
+	if pd.dead || pd.frozen {
 		return
 	}
 	pd.node.Priority = pd.Priority

@@ -119,6 +119,21 @@ type PD struct {
 	// running while it sleeps.
 	idleWaiting bool
 
+	// frozen marks a checkpointed template (or a warm, not-yet-activated
+	// clone): the PD keeps its address space and kernel objects but never
+	// wakes — injections are dropped by wake() and its virtual timer is
+	// parked. Cleared only by ActivateClone.
+	frozen bool
+
+	// clone is non-nil on PDs forked from a checkpoint image (clone.go):
+	// the private frame arena, the backing image, and the COW counters.
+	clone *cloneState
+
+	// lastHcEntry is the entry timestamp of the most recent hypercall,
+	// recorded so a restored guest can replay the suspend exit (probe and
+	// trace span) exactly as the uninterrupted timeline would have.
+	lastHcEntry simclock.Cycles
+
 	// QoS guard state (manager-portal admission, see qos.go): the token
 	// bucket and breaker are touched by this PD's own hypercall path and
 	// — for failure charges — by barrier commits; reconfigFault latches a

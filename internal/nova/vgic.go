@@ -3,6 +3,7 @@ package nova
 import (
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/gic"
 	"repro/internal/trace"
 )
@@ -205,6 +206,35 @@ func (v *VGIC) DrainPending() []int {
 
 // HasPending reports whether injected vIRQs await delivery.
 func (v *VGIC) HasPending() bool { return len(v.pending) > 0 }
+
+// snapshotLines captures the record list (IRQ, enable, in-service and
+// re-pend bits, in ascending IRQ order) and the queued injections for a
+// checkpoint image. Both slices are fresh copies.
+func (v *VGIC) snapshotLines() (lines []checkpoint.VGICLine, pending []int) {
+	lines = make([]checkpoint.VGICLine, 0, len(v.order))
+	for _, irq := range v.order {
+		e := v.entries[irq]
+		lines = append(lines, checkpoint.VGICLine{
+			IRQ: irq, Enabled: e.enabled, InService: e.inService, RePending: e.rePending,
+		})
+	}
+	return lines, append([]int(nil), v.pending...)
+}
+
+// restoreLines rebuilds the vGIC from a checkpoint capture, replacing
+// whatever record list existed. Counters (Injected/Relatched) are the
+// restored VM's own and start at zero on a fresh clone; an in-place
+// restore keeps the PD's live counters by design — they are cumulative
+// activity statistics, not vCPU state.
+func (v *VGIC) restoreLines(lines []checkpoint.VGICLine, pending []int) {
+	v.entries = make(map[int]*virq, len(lines))
+	v.order = v.order[:0]
+	for _, l := range lines {
+		v.entries[l.IRQ] = &virq{enabled: l.Enabled, inService: l.InService, rePending: l.RePending}
+		v.order = append(v.order, l.IRQ)
+	}
+	v.pending = append([]int(nil), pending...)
+}
 
 // ApplyToGIC programs the physical distributor for a VM switch on cpu:
 // when active, this VM's enabled lines are unmasked; otherwise all its

@@ -1,0 +1,108 @@
+package physmem
+
+import "testing"
+
+func TestShareReleaseReclaims(t *testing.T) {
+	b := NewBus()
+	a := DDRBase + 0x40_0000
+	if err := b.Write8(a, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	before := b.TouchedFrames()
+	b.Share(a)
+	b.Share(a + 8) // same frame
+	if got := b.Refs(a); got != 2 {
+		t.Fatalf("refs = %d, want 2", got)
+	}
+	if rem := b.Release(a); rem != 1 {
+		t.Fatalf("remaining = %d, want 1", rem)
+	}
+	if !b.Allocated(a) {
+		t.Fatal("frame reclaimed while still referenced")
+	}
+	if rem := b.Release(a); rem != 0 {
+		t.Fatalf("remaining = %d, want 0", rem)
+	}
+	if b.Allocated(a) {
+		t.Fatal("unpinned frame not reclaimed at zero refs")
+	}
+	if got := b.TouchedFrames(); got != before-1 {
+		t.Fatalf("touched = %d, want %d", got, before-1)
+	}
+	// A reclaimed frame reads as zero once re-touched.
+	if v, _ := b.Read8(a); v != 0 {
+		t.Fatalf("reclaimed frame read %#x, want 0", v)
+	}
+}
+
+func TestPinnedFrameSurvivesLastRelease(t *testing.T) {
+	b := NewBus()
+	a := DDRBase + 0x80_0000
+	if err := b.Write8(a, 0x5C); err != nil {
+		t.Fatal(err)
+	}
+	b.Pin(a)
+	b.Share(a)
+	b.Release(a)
+	if !b.Allocated(a) {
+		t.Fatal("pinned frame reclaimed at zero refs")
+	}
+	if v, _ := b.Read8(a); v != 0x5C {
+		t.Fatalf("pinned frame lost its contents: %#x", v)
+	}
+	b.Unpin(a)
+	if b.Allocated(a) {
+		t.Fatal("frame not reclaimed after unpin at zero refs")
+	}
+}
+
+func TestUnpinWaitsForClones(t *testing.T) {
+	b := NewBus()
+	a := DDRBase + 0xC0_0000
+	b.Pin(a)
+	b.Share(a)
+	b.Unpin(a)
+	if !b.Allocated(a) {
+		t.Fatal("frame with a live clone reference reclaimed on unpin")
+	}
+	if rem := b.Release(a); rem != 0 {
+		t.Fatalf("remaining = %d, want 0", rem)
+	}
+	if b.Allocated(a) {
+		t.Fatal("frame survived its last reference after unpin")
+	}
+}
+
+func TestCopyFrame(t *testing.T) {
+	b := NewBus()
+	src := DDRBase + 0x100_0000
+	dst := DDRBase + 0x101_0000
+	for i := Addr(0); i < 16; i++ {
+		if err := b.Write8(src+i*7, byte(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.CopyFrame(dst, src)
+	for i := Addr(0); i < 16; i++ {
+		v, _ := b.Read8(dst + i*7)
+		if v != byte(i)+1 {
+			t.Fatalf("dst[%d] = %#x, want %#x", i*7, v, byte(i)+1)
+		}
+	}
+}
+
+func TestSnapshotLoadFrame(t *testing.T) {
+	b := NewBus()
+	a := DDRBase + 0x102_0000
+	if err := b.Write8(a+5, 0x77); err != nil {
+		t.Fatal(err)
+	}
+	snap := b.SnapshotFrame(a + 5) // any address within the frame
+	if err := b.Write8(a+5, 0); err != nil {
+		t.Fatal(err)
+	}
+	b.LoadFrame(a, snap)
+	if v, _ := b.Read8(a + 5); v != 0x77 {
+		t.Fatalf("restored frame read %#x, want 0x77", v)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -94,6 +95,10 @@ type Bus struct {
 	ocm     []*frameBuf
 	touched atomic.Int64 // allocated frames, for the footprint report
 	windows []window     // sorted by base
+
+	// Copy-on-write frame sharing state (cow.go), built on first use.
+	cowOnce sync.Once
+	cowRefs *cowTable
 }
 
 // NewBus returns an empty bus with DDR and OCM RAM available.

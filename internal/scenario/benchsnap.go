@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func init() {
+	experiments.RegisterSnapshotBench(MeasureSnapshotForks)
+}
+
+// snapshotForkSpec builds the clone-sweep benchmark subject for one fleet
+// size: the oversubscribed-256vm shape with the clone count swept and
+// half the fleet prewarmed (so the pool serves both hits and cold
+// builds). Everything measured is simulated time — the spec is a
+// deterministic scenario like any other.
+func snapshotForkSpec(clones int) Spec {
+	return Spec{
+		Name:  fmt.Sprintf("snapshot-fork-%d", clones),
+		Cores: 2, RunMs: 4, Seed: 14,
+		Snapshot: &SnapshotSpec{Clones: clones, Prewarm: clones / 2},
+		VMs:      []VM{{Name: "template"}},
+	}
+}
+
+// MeasureSnapshotFork runs one fleet size and folds the result into the
+// BENCH_sim.json snapshot_fork entry: boot-vs-fork simulated cost, the
+// COW copy ledger, and the warm-pool hit ratio.
+func MeasureSnapshotFork(clones int) experiments.SnapshotFork {
+	r := Build(snapshotForkSpec(clones)).Run()
+	sf := experiments.SnapshotFork{
+		Name:         r.Name,
+		Clones:       r.CloneCount,
+		ColdBootMs:   r.BootCycles.Millis(),
+		ForkMs:       r.ForkCycles.Millis(),
+		FramesShared: r.FramesShared,
+		FramesCopied: r.FramesCopied,
+		PoolHits:     r.PoolHits,
+		PoolMisses:   r.PoolMisses,
+	}
+	if sf.ColdBootMs > 0 {
+		sf.ForkOverBoot = sf.ForkMs / sf.ColdBootMs
+	}
+	if mapped := sf.FramesCopied + sf.FramesShared; mapped > 0 {
+		sf.CopyRate = float64(sf.FramesCopied) / float64(mapped)
+	}
+	if acq := sf.PoolHits + sf.PoolMisses; acq > 0 {
+		sf.HitRatio = float64(sf.PoolHits) / float64(acq)
+	}
+	return sf
+}
+
+// MeasureSnapshotForks is the RunSimBench hook: the fleet-size sweep
+// showing fork cost staying O(metadata) as the clone count scales.
+func MeasureSnapshotForks(short bool) []experiments.SnapshotFork {
+	counts := []int{1, 8, 64, 256}
+	if short {
+		counts = []int{1, 8}
+	}
+	var out []experiments.SnapshotFork
+	for _, n := range counts {
+		out = append(out, MeasureSnapshotFork(n))
+	}
+	return out
+}

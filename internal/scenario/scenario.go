@@ -112,6 +112,12 @@ type Spec struct {
 	// QoS arms the kernel's manager-portal admission guards (zero = off).
 	QoS nova.QoSConfig
 
+	// Snapshot switches the scenario into checkpoint/fork mode: VMs[0]
+	// becomes a serverless template that is booted to quiescence,
+	// checkpointed and frozen, then forked through a warm pool into
+	// Snapshot.Clones copy-on-write clones (snapshot.go).
+	Snapshot *SnapshotSpec
+
 	VMs []VM
 }
 
@@ -138,6 +144,9 @@ type vmProbe struct {
 	spec  VM
 	guest *ucos.Guest
 	pd    *nova.PD
+	// resumed supersedes guest after an in-place checkpoint restore: the
+	// restored OS instance lives in the ResumedGuest, not the boot guest.
+	resumed *ucos.ResumedGuest
 
 	requests     uint64 // completed hardware-task runs
 	failures     uint64 // runs that returned false (timeout, DMA error)
@@ -163,6 +172,10 @@ type System struct {
 	probes      []*vmProbe
 	stormPulses uint64
 	stormNext   int // next synthetic PL line, allocated top-down
+
+	// snap is the checkpoint/fork state machine, non-nil only when the
+	// spec has a SnapshotSpec (snapshot.go).
+	snap *snapRun
 }
 
 // Build wires the system a spec describes. The caller owns the kernel
@@ -214,7 +227,11 @@ func Build(spec Spec) *System {
 
 	sys := &System{Spec: spec, Kernel: k, Manager: mgr, stormNext: 0}
 	for i, vm := range spec.VMs {
-		sys.addVM(i, vm)
+		if spec.Snapshot != nil {
+			sys.addTemplateVM(i, vm)
+		} else {
+			sys.addVM(i, vm)
+		}
 	}
 	return sys
 }
@@ -349,6 +366,19 @@ type Result struct {
 	CapDelegations uint64
 	IPCFastCalls   uint64 // same-core synchronous portal handoffs
 
+	// Snapshot/fork ledger (zero outside snapshot scenarios; all covered
+	// by the checksum).
+	BootCycles   simclock.Cycles // sim time for the template to boot and quiesce
+	ForkCycles   simclock.Cycles // sim time to prewarm, fork and activate every clone
+	CloneCount   int             // clones activated (excludes shelf-only ones)
+	COWFaults    uint64          // write faults resolved as COW breaks, all clones
+	FramesCopied uint64          // frames privately copied, all clones
+	FramesShared uint64          // frames still template-shared at collection
+	PoolHits     uint64
+	PoolMisses   uint64
+	PoolBuilt    uint64
+	PoolReaped   uint64
+
 	// VMStats carries each VM's counters and acquire-latency percentiles
 	// in spec order (the interference probes read them by name).
 	VMStats []VMStat
@@ -400,15 +430,26 @@ func (s *System) Run() Result {
 		}
 	}()
 	d := simclock.FromMillis(s.Spec.RunMs)
-	if s.Spec.Shards > 1 {
-		k.RunParallelFor(d, s.Spec.Shards)
+	if s.snap != nil {
+		s.runSnapshot(d)
 	} else {
-		k.RunFor(d)
+		s.advance(d)
 	}
 	res := s.collect()
 	res.WallMs = float64(time.Since(t0).Microseconds()) / 1000 //detlint:hosttime WallMs is reporting-only, never checksummed
 	k.Shutdown()
 	return res
+}
+
+// advance runs the simulation for d more cycles on the engine the spec
+// selected. The phased snapshot runner calls it repeatedly; checksums
+// must stay byte-identical however the budget is chopped.
+func (s *System) advance(d simclock.Cycles) {
+	if s.Spec.Shards > 1 {
+		s.Kernel.RunParallelFor(d, s.Spec.Shards)
+	} else {
+		s.Kernel.RunFor(d)
+	}
 }
 
 // collect gathers the result and checksum from the stopped system.
@@ -448,7 +489,9 @@ func (s *System) collect() Result {
 		res.Busy += p.busy
 		res.StormHandled += p.stormHandled
 		var ticks uint64
-		if p.guest.OS != nil {
+		if p.resumed != nil && p.resumed.OS != nil {
+			ticks = p.resumed.OS.Ticks
+		} else if p.guest.OS != nil {
 			ticks = p.guest.OS.Ticks
 		}
 		d.addf("vm %s requests %d failures %d busy %d storm %d ticks %d workload %s output %d",
@@ -507,6 +550,12 @@ func (s *System) collect() Result {
 	}
 	console := k.ConsoleString()
 	d.addf("console %d %d", fnvString(console), len(console))
+
+	// Snapshot/fork ledger: only snapshot scenarios write these lines, so
+	// every pre-existing scenario's dump stays byte-identical.
+	if s.snap != nil {
+		s.snapshotCollect(d, &res)
+	}
 
 	// Trace byproducts ride only on the Result struct — deliberately NOT
 	// written into the digest: the checksum must not know whether the run

@@ -192,6 +192,20 @@ func Suite(short bool) []Spec {
 					HwMenu: []uint16{hwtask.TaskQAM4}},
 			},
 		},
+		{
+			Name:  "oversubscribed-256vm",
+			About: "one serverless template boots once, then 256 COW clones fork through a 64-deep warm pool — O(metadata) fork under heavy oversubscription",
+			Cores: 2, RunMs: ms(8), Seed: 14,
+			Snapshot: &SnapshotSpec{Clones: 256, Prewarm: 64},
+			VMs:      []VM{{Name: "template"}},
+		},
+		{
+			Name:  "warm-pool-reap",
+			About: "a small clone fleet over an aggressively TTL-reaped, continuously re-warmed pool — shelf churn, generation revocation and arena recycling",
+			Cores: 1, RunMs: ms(24), Seed: 15,
+			Snapshot: &SnapshotSpec{Clones: 2, Prewarm: 6, TTLMs: 4, KeepWarm: true},
+			VMs:      []VM{{Name: "template"}},
+		},
 	}
 }
 

@@ -167,7 +167,13 @@ func (os *OS) Run() {
 	os.irqTable[TickIRQ] = os.tickHandler
 	os.M.EnableIRQ(TickIRQ)
 	os.M.SetTickTimer(os.TickPeriod)
+	os.loop()
+}
 
+// loop is the scheduler proper, shared by Run (cold boot) and ResumeLoop
+// (re-entry after a checkpoint restore, which must skip the boot
+// hypercalls because their effects live in the restored machine state).
+func (os *OS) loop() {
 	for !os.stopped {
 		if os.deadOrDying() {
 			return
